@@ -1,0 +1,57 @@
+// Command generic-bench regenerates the tables and figures of the GENERIC
+// paper's evaluation (DAC'22). Each experiment prints a paper-style table;
+// EXPERIMENTS.md records paper-versus-measured for all of them.
+//
+// Usage:
+//
+//	generic-bench                  # run every experiment at paper fidelity
+//	generic-bench -exp table1,fig9 # run a subset
+//	generic-bench -quick           # fast, reduced-fidelity pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	generic "github.com/edge-hdc/generic"
+)
+
+func main() {
+	var (
+		exps  = flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(generic.Experiments(), ",")+") or 'all'")
+		quick = flag.Bool("quick", false, "reduced-fidelity configuration (seconds instead of minutes)")
+		seed  = flag.Uint64("seed", 1, "master random seed")
+		d     = flag.Int("d", 0, "hypervector dimensionality override (accuracy experiments)")
+	)
+	flag.Parse()
+
+	cfg := generic.DefaultExperimentConfig()
+	if *quick {
+		cfg = generic.QuickExperimentConfig()
+	}
+	cfg.Seed = *seed
+	if *d != 0 {
+		cfg.D = *d
+	}
+
+	ids := generic.Experiments()
+	if *exps != "all" {
+		ids = strings.Split(*exps, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		start := time.Now()
+		res, err := generic.RunExperiment(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "generic-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), res)
+	}
+}

@@ -1,0 +1,79 @@
+// Command generic-datagen exports the synthetic benchmarks as CSV for use
+// outside this repository (plotting, cross-checking against other HDC
+// implementations). The first column is the label; the rest are features.
+//
+// Usage:
+//
+//	generic-datagen -dataset EEG -split train > eeg_train.csv
+//	generic-datagen -dataset Hepta -cluster > hepta.csv
+//	generic-datagen -list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	generic "github.com/edge-hdc/generic"
+)
+
+func main() {
+	var (
+		name    = flag.String("dataset", "EEG", "benchmark name")
+		split   = flag.String("split", "train", "train | test (classification only)")
+		cluster = flag.Bool("cluster", false, "export a clustering benchmark instead")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		list    = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("classification:", strings.Join(generic.Datasets(), " "))
+		fmt.Println("clustering:   ", strings.Join(generic.ClusterSets(), " "))
+		return
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *cluster {
+		cs, err := generic.LoadClusterSet(*name, *seed)
+		if err != nil {
+			fail(err)
+		}
+		writeCSV(w, cs.X, cs.Labels)
+		return
+	}
+
+	ds, err := generic.LoadDataset(*name, *seed)
+	if err != nil {
+		fail(err)
+	}
+	switch *split {
+	case "train":
+		writeCSV(w, ds.TrainX, ds.TrainY)
+	case "test":
+		writeCSV(w, ds.TestX, ds.TestY)
+	default:
+		fail(fmt.Errorf("unknown split %q", *split))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "generic-datagen:", err)
+	os.Exit(1)
+}
+
+func writeCSV(w *bufio.Writer, X [][]float64, Y []int) {
+	for i, x := range X {
+		w.WriteString(strconv.Itoa(Y[i]))
+		for _, v := range x {
+			w.WriteByte(',')
+			w.WriteString(strconv.FormatFloat(v, 'g', 8, 64))
+		}
+		w.WriteByte('\n')
+	}
+}

@@ -1,0 +1,79 @@
+// Seizure detection on EEG-like time series — the motivating edge workload
+// of the paper's §3: a battery-powered wearable must flag seizure bursts
+// that appear at unpredictable positions in the signal.
+//
+// The example shows why the GENERIC encoding matters: a burst is a *local*
+// pattern, so global positional encodings (random projection) miss it,
+// while GENERIC's windowed encoding — run id-less, as the paper prescribes
+// for applications without global window order — catches it. It then moves
+// the trained model onto the accelerator model and reports the energy of
+// continuous monitoring.
+//
+//	go run ./examples/seizure
+package main
+
+import (
+	"fmt"
+	"log"
+
+	generic "github.com/edge-hdc/generic"
+)
+
+func main() {
+	ds, err := generic.LoadDataset("EEG", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EEG: %d train / %d test windows of %d samples\n",
+		ds.TrainLen(), ds.TestLen(), ds.Features)
+
+	// Compare the GENERIC encoding against random projection on the same
+	// data — the Table 1 contrast this workload exists to show.
+	for _, kind := range []generic.EncodingKind{generic.RP, generic.Generic} {
+		enc, err := generic.EncoderForDataset(kind, ds, 4096, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := generic.NewPipeline(enc, ds.Classes)
+		p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: 20, Seed: 7})
+		fmt.Printf("%-8v test accuracy: %.1f%%\n", kind, 100*p.Accuracy(ds.TestX, ds.TestY))
+	}
+
+	// Deploy on the accelerator: train on-device, then measure the energy
+	// of classifying the test stream with bank gating active.
+	spec := generic.Spec{
+		D: 4096, Features: ds.Features, N: 3, Classes: ds.Classes,
+		BW: 16, UseID: ds.UseID, Mode: generic.ModeTrain,
+	}
+	acc, err := generic.NewAccelerator(spec, 7, ds.Lo, ds.Hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc.Train(ds.TrainX, ds.TrainY, 10)
+	acc.ResetStats()
+	preds := acc.InferAll(ds.TestX)
+	correct := 0
+	for i, p := range preds {
+		if p == ds.TestY[i] {
+			correct++
+		}
+	}
+	rep := generic.Energy(acc.Stats(), generic.PowerConfig{
+		ActiveBankFrac: spec.ActiveBankFrac(),
+	})
+	perInput := rep.TotalJ / float64(ds.TestLen())
+	fmt.Printf("on-accelerator accuracy: %.1f%% | %.1f nJ and %.1f µs per window | avg power %.2f mW\n",
+		100*float64(correct)/float64(ds.TestLen()),
+		perInput*1e9, rep.Seconds/float64(ds.TestLen())*1e6, rep.AvgPowerW*1e3)
+
+	// Year-long battery check (the paper's design goal): a 225 mAh coin
+	// cell at 3 V holds ~2430 J. The budget is dominated by static power,
+	// which bank gating cuts to ~0.09 mW.
+	const coinCellJ = 2430.0
+	windowsPerDay := 24.0 * 3600 / 2 // one 2-second window at a time
+	staticW := generic.StaticPowerW(generic.PowerConfig{ActiveBankFrac: spec.ActiveBankFrac()})
+	perDay := rep.DynamicJ/float64(ds.TestLen())*windowsPerDay + staticW*24*3600
+	years := coinCellJ / (perDay * 365)
+	fmt.Printf("continuous monitoring: ~%.1f years per coin cell (static %.2f mW dominates)\n",
+		years, staticW*1e3)
+}

@@ -1,0 +1,68 @@
+package generic
+
+import (
+	"fmt"
+
+	"github.com/edge-hdc/generic/internal/experiments"
+)
+
+// ExperimentConfig controls the fidelity/runtime trade-off of the
+// evaluation harness.
+type ExperimentConfig = experiments.Config
+
+// DefaultExperimentConfig is the paper-fidelity configuration (D=4096, 20
+// retraining epochs); QuickExperimentConfig shrinks the accuracy-oriented
+// experiments so the whole suite runs in well under a minute.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.Default() }
+func QuickExperimentConfig() ExperimentConfig   { return experiments.QuickConfig() }
+
+// experimentOrder lists the experiment ids in the paper's order, followed
+// by the ablation studies for design choices the paper fixes by experiment
+// (window length n=3, per-window id binding, 64 level bins).
+var experimentOrder = []string{
+	"table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "fig10",
+	"ablation-n", "ablation-id", "ablation-bins", "gating", "epochs",
+}
+
+// Experiments returns the ids accepted by RunExperiment, in paper order.
+func Experiments() []string {
+	out := make([]string, len(experimentOrder))
+	copy(out, experimentOrder)
+	return out
+}
+
+// RunExperiment regenerates one table or figure of the paper's evaluation
+// and returns a result that renders the paper-style table via String().
+func RunExperiment(id string, cfg ExperimentConfig) (fmt.Stringer, error) {
+	switch id {
+	case "table1":
+		return experiments.Table1(cfg)
+	case "table2":
+		return experiments.Table2(cfg)
+	case "fig3":
+		return experiments.Figure3(cfg)
+	case "fig5":
+		return experiments.Figure5(cfg)
+	case "fig6":
+		return experiments.Figure6(cfg)
+	case "fig7":
+		return experiments.Figure7(cfg)
+	case "fig8":
+		return experiments.Figure8(cfg)
+	case "fig9":
+		return experiments.Figure9(cfg)
+	case "fig10":
+		return experiments.Figure10(cfg)
+	case "ablation-n":
+		return experiments.AblationWindow(cfg)
+	case "ablation-id":
+		return experiments.AblationID(cfg)
+	case "ablation-bins":
+		return experiments.AblationBins(cfg)
+	case "gating":
+		return experiments.PowerGating(cfg)
+	case "epochs":
+		return experiments.EpochSaturation(cfg)
+	}
+	return nil, fmt.Errorf("generic: unknown experiment %q (known: %v)", id, experimentOrder)
+}

@@ -1,0 +1,310 @@
+// Package generic is a Go reproduction of GENERIC — the highly efficient
+// hyperdimensional-computing (HDC) learning engine for the edge published
+// at DAC 2022 (Khaleghi et al., DOI 10.1145/3489517.3530669).
+//
+// The package exposes four layers:
+//
+//   - Encoders (NewEncoder): the paper's windowed GENERIC encoding plus the
+//     four baseline HDC encodings it is evaluated against (random
+//     projection, level-id, ngram, permutation).
+//   - Learning (Pipeline, Train, Cluster): HDC classification with
+//     retraining, bit-width quantization, on-demand dimension reduction,
+//     and k-centroid HDC clustering.
+//   - Hardware (NewAccelerator): a cycle-level model of the GENERIC ASIC —
+//     functional fixed-point inference with Mitchell-approximate scoring,
+//     cycle/memory-access accounting, and the §4.3 energy-reduction levers
+//     (bank power gating, voltage over-scaling, bit-width masking), with
+//     area/power/energy models calibrated to the paper's 14 nm numbers.
+//   - Experiments (Experiments, RunExperiment): harnesses that regenerate
+//     every table and figure of the paper's evaluation.
+//
+// A minimal classification flow:
+//
+//	enc, _ := generic.NewEncoder(generic.Generic, generic.EncoderConfig{
+//		D: 4096, Features: 64, Lo: 0, Hi: 1, UseID: true, Seed: 1,
+//	})
+//	p := generic.NewPipeline(enc, nClasses)
+//	p.Fit(trainX, trainY, generic.TrainOptions{Epochs: 20})
+//	label := p.Predict(x)
+//
+// See the examples directory for runnable end-to-end scenarios and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package generic
+
+import (
+	"fmt"
+
+	"github.com/edge-hdc/generic/internal/classifier"
+	"github.com/edge-hdc/generic/internal/cluster"
+	"github.com/edge-hdc/generic/internal/dataset"
+	"github.com/edge-hdc/generic/internal/encoding"
+	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/metrics"
+	"github.com/edge-hdc/generic/internal/power"
+	"github.com/edge-hdc/generic/internal/sim"
+	"github.com/edge-hdc/generic/internal/trace"
+)
+
+// EncodingKind selects an HDC encoding family.
+type EncodingKind = encoding.Kind
+
+// The five encodings of the paper's Table 1.
+const (
+	RP      = encoding.RP
+	LevelID = encoding.LevelID
+	Ngram   = encoding.Ngram
+	Permute = encoding.Permute
+	Generic = encoding.Generic
+)
+
+// EncoderConfig parameterizes an encoder; zero fields take the paper's
+// defaults (D=4096, Bins=64, N=3).
+type EncoderConfig = encoding.Config
+
+// Encoder maps feature vectors to integer hypervectors.
+type Encoder = encoding.Encoder
+
+// Hypervector is an integer hypervector (an encoded query or a class
+// vector).
+type Hypervector = hdc.Vec
+
+// NewEncoder constructs an encoder of the given kind.
+func NewEncoder(kind EncodingKind, cfg EncoderConfig) (Encoder, error) {
+	return encoding.New(kind, cfg)
+}
+
+// Encode is a convenience that encodes a batch of inputs.
+func Encode(e Encoder, X [][]float64) []Hypervector {
+	return encoding.EncodeAll(e, X)
+}
+
+// EncoderPool encodes batches concurrently (one encoder per worker, same
+// hypervector material, bit-identical outputs).
+type EncoderPool = encoding.Pool
+
+// NewEncoderPool builds a concurrent encoding pool; workers ≤ 0 means
+// GOMAXPROCS.
+func NewEncoderPool(kind EncodingKind, cfg EncoderConfig, workers int) (*EncoderPool, error) {
+	return encoding.NewPool(kind, cfg, workers)
+}
+
+// Model is a trained HDC classification model.
+type Model = classifier.Model
+
+// TrainOptions configures HDC training; zero values take the paper's
+// defaults (20 retraining epochs, 16-bit classes).
+type TrainOptions = classifier.Options
+
+// SubNormGranularity is the dimension granularity of the norm2 memory's
+// sub-norms (on-demand dimension reduction, §4.3.3).
+const SubNormGranularity = classifier.SubNormGranularity
+
+// Train builds a model from pre-encoded hypervectors.
+func Train(encoded []Hypervector, labels []int, classes int, opt TrainOptions) *Model {
+	m, _ := classifier.TrainEncoded(encoded, labels, classes, opt)
+	return m
+}
+
+// Pipeline couples an encoder with a model, providing the end-to-end API a
+// downstream application uses.
+type Pipeline struct {
+	enc     Encoder
+	model   *Model
+	classes int
+	scratch Hypervector
+}
+
+// NewPipeline creates an untrained pipeline for the given class count.
+func NewPipeline(enc Encoder, classes int) *Pipeline {
+	return &Pipeline{enc: enc, classes: classes, scratch: hdc.NewVec(enc.D())}
+}
+
+// Encoder returns the pipeline's encoder; Model its trained model (nil
+// before Fit).
+func (p *Pipeline) Encoder() Encoder { return p.enc }
+func (p *Pipeline) Model() *Model    { return p.model }
+
+// Fit encodes the training set and trains the model (initialization plus
+// retraining, Fig. 1). It returns the number of mispredictions in the final
+// retraining epoch (0 means converged).
+func (p *Pipeline) Fit(X [][]float64, Y []int, opt TrainOptions) int {
+	encoded := encoding.EncodeAll(p.enc, X)
+	m, last := classifier.TrainEncoded(encoded, Y, p.classes, opt)
+	p.model = m
+	return last
+}
+
+// Predict classifies one input.
+func (p *Pipeline) Predict(x []float64) int {
+	p.mustBeTrained()
+	p.enc.Encode(x, p.scratch)
+	c, _ := p.model.Predict(p.scratch)
+	return c
+}
+
+// PredictReduced classifies using only the first dims dimensions with the
+// updated sub-norms — the accelerator's on-demand dimension reduction.
+func (p *Pipeline) PredictReduced(x []float64, dims int) int {
+	p.mustBeTrained()
+	p.enc.Encode(x, p.scratch)
+	c, _ := p.model.PredictDims(p.scratch, dims, true)
+	return c
+}
+
+// Adapt performs one online-learning step: classify x and, when the
+// prediction disagrees with label, apply the retraining update. It returns
+// the pre-update prediction and whether the model changed — the streaming
+// lifelong-learning path of the paper's IoT-gateway scenario.
+func (p *Pipeline) Adapt(x []float64, label int) (pred int, updated bool) {
+	p.mustBeTrained()
+	p.enc.Encode(x, p.scratch)
+	return p.model.Adapt(p.scratch, label)
+}
+
+// Accuracy scores the pipeline on a labelled set.
+func (p *Pipeline) Accuracy(X [][]float64, Y []int) float64 {
+	p.mustBeTrained()
+	correct := 0
+	for i, x := range X {
+		if p.Predict(x) == Y[i] {
+			correct++
+		}
+	}
+	if len(X) == 0 {
+		return 0
+	}
+	return float64(correct) / float64(len(X))
+}
+
+// Quantize reduces the model's class bit-width (the accelerator's bw input).
+func (p *Pipeline) Quantize(bw int) {
+	p.mustBeTrained()
+	p.model.Quantize(bw)
+}
+
+func (p *Pipeline) mustBeTrained() {
+	if p.model == nil {
+		panic("generic: pipeline used before Fit")
+	}
+}
+
+// ClusterResult is the outcome of HDC clustering.
+type ClusterResult = cluster.HDCResult
+
+// Cluster runs k-centroid HDC clustering over raw inputs using the given
+// encoder (§2.1/§4.2.3).
+func Cluster(enc Encoder, X [][]float64, k, epochs int) *ClusterResult {
+	encoded := encoding.EncodeAll(enc, X)
+	return cluster.HDC(encoded, k, epochs)
+}
+
+// KMeans exposes the classical baseline clusterer (Lloyd's algorithm with
+// k-means++ seeding and restarts).
+func KMeans(X [][]float64, k, maxIter, restarts int, seed uint64) *cluster.KMeansResult {
+	return cluster.KMeansBest(X, k, maxIter, restarts, seed)
+}
+
+// NMI is the normalized mutual information between two labelings.
+func NMI(a, b []int) float64 { return metrics.NMI(a, b) }
+
+// ---------------------------------------------------------------------------
+// Hardware model.
+
+// Spec mirrors the accelerator's spec port (§4.1).
+type Spec = sim.Spec
+
+// Accelerator is the cycle-level model of the GENERIC ASIC.
+type Accelerator = sim.Accelerator
+
+// Stats is the accelerator's activity accounting.
+type Stats = sim.Stats
+
+// Hardware operation modes.
+const (
+	ModeInference = sim.Inference
+	ModeTrain     = sim.Train
+	ModeCluster   = sim.Cluster
+)
+
+// NewAccelerator builds an accelerator with the given quantization range.
+func NewAccelerator(spec Spec, seed uint64, lo, hi float64) (*Accelerator, error) {
+	return sim.NewWithRange(spec, seed, lo, hi)
+}
+
+// PowerConfig selects the energy-reduction state for Energy.
+type PowerConfig = power.Config
+
+// EnergyReport is the energy accounting of a simulated workload.
+type EnergyReport = power.Report
+
+// Energy turns accelerator statistics into joules under the given
+// configuration (gating, voltage over-scaling, bit-width masking).
+func Energy(st Stats, cfg PowerConfig) EnergyReport {
+	return power.Energy(st, cfg)
+}
+
+// VOSForBER returns the voltage-over-scaling operating point for a target
+// class-memory bit-error rate (§4.3.4).
+func VOSForBER(ber float64) power.VOSPoint { return power.VOSForBER(ber) }
+
+// StaticPowerW returns the accelerator's static power in watts under the
+// given gating/voltage configuration (0.25 mW worst case; ~0.09 mW at the
+// benchmarks' average bank occupancy).
+func StaticPowerW(cfg PowerConfig) float64 { return power.StaticPowerW(cfg) }
+
+// ActivityTimeline records the accelerator's per-phase activity when
+// installed via Accelerator.SetTracer; it renders utilization summaries,
+// ASCII occupancy strips, and VCD waveforms.
+type ActivityTimeline = trace.Timeline
+
+// ---------------------------------------------------------------------------
+// Benchmarks.
+
+// Dataset is a synthetic classification benchmark (see internal/dataset for
+// the construction each benchmark uses).
+type Dataset = dataset.Dataset
+
+// ClusterSet is a synthetic clustering benchmark.
+type ClusterSet = dataset.ClusterSet
+
+// Datasets returns the names of the eleven classification benchmarks of
+// Table 1; ClusterSets the clustering benchmarks of Table 2 / Figure 10.
+func Datasets() []string    { return dataset.Names() }
+func ClusterSets() []string { return dataset.ClusterNames() }
+
+// LoadDataset generates the named classification benchmark.
+func LoadDataset(name string, seed uint64) (*Dataset, error) {
+	return dataset.Load(name, seed)
+}
+
+// LoadClusterSet generates the named clustering benchmark.
+func LoadClusterSet(name string, seed uint64) (*ClusterSet, error) {
+	return dataset.LoadCluster(name, seed)
+}
+
+// CSVOptions controls parsing of labelled CSV data (label column +
+// float features), the format cmd/generic-datagen emits.
+type CSVOptions = dataset.CSVOptions
+
+// LoadCSV parses a labelled CSV file into a Dataset, so the pipeline can
+// run on real data alongside the synthetic benchmarks.
+func LoadCSV(path string, opt CSVOptions) (*Dataset, error) {
+	return dataset.LoadCSVFile(path, opt)
+}
+
+// EncoderForDataset builds the encoder configuration the experiments use
+// for a benchmark: the paper's defaults with the dataset's quantization
+// range and its prescribed id setting.
+func EncoderForDataset(kind EncodingKind, ds *Dataset, d int, seed uint64) (Encoder, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("generic: nil dataset")
+	}
+	n := 3
+	if ds.Features < n {
+		n = ds.Features
+	}
+	return encoding.New(kind, encoding.Config{
+		D: d, Features: ds.Features, Bins: 64, Lo: ds.Lo, Hi: ds.Hi,
+		N: n, UseID: ds.UseID, Seed: seed,
+	})
+}

@@ -1,0 +1,3 @@
+module github.com/edge-hdc/generic
+
+go 1.22

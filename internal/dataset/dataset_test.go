@@ -1,0 +1,294 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllBenchmarksValid(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ds := MustLoad(name, 1)
+			if err := ds.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if ds.Name != name {
+				t.Fatalf("Name = %q, want %q", ds.Name, name)
+			}
+		})
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("NOPE", 1); err == nil {
+		t.Fatal("Load of unknown benchmark did not error")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := MustLoad("EEG", 7)
+	b := MustLoad("EEG", 7)
+	if len(a.TrainX) != len(b.TrainX) {
+		t.Fatal("sizes differ across identical seeds")
+	}
+	for i := range a.TrainX {
+		if a.TrainY[i] != b.TrainY[i] {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for j := range a.TrainX[i] {
+			if a.TrainX[i][j] != b.TrainX[i][j] {
+				t.Fatal("features differ across identical seeds")
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := MustLoad("CARDIO", 1)
+	b := MustLoad("CARDIO", 2)
+	same := true
+	for i := range a.TrainX[0] {
+		if a.TrainX[0][i] != b.TrainX[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical first samples")
+	}
+}
+
+func TestRangeCoversData(t *testing.T) {
+	for _, name := range Names() {
+		ds := MustLoad(name, 3)
+		below, total := 0, 0
+		for _, x := range ds.TrainX {
+			for _, v := range x {
+				total++
+				if v < ds.Lo || v > ds.Hi {
+					below++
+				}
+			}
+		}
+		// Percentile clipping allows ~1% outside.
+		if float64(below)/float64(total) > 0.03 {
+			t.Errorf("%s: %.1f%% of train values outside [Lo,Hi]", name, 100*float64(below)/float64(total))
+		}
+	}
+}
+
+func TestClassBalanceRoughlyUniformWhereExpected(t *testing.T) {
+	ds := MustLoad("ISOLET", 1)
+	counts := make([]int, ds.Classes)
+	for _, y := range ds.TrainY {
+		counts[y]++
+	}
+	want := len(ds.TrainY) / ds.Classes
+	for c, n := range counts {
+		if n < want/3 {
+			t.Errorf("class %d badly under-represented: %d (expected ~%d)", c, n, want)
+		}
+	}
+}
+
+func TestPageSkewedPriors(t *testing.T) {
+	ds := MustLoad("PAGE", 1)
+	counts := make([]int, ds.Classes)
+	for _, y := range ds.TrainY {
+		counts[y]++
+	}
+	if counts[0] <= counts[4] {
+		t.Errorf("PAGE should be skewed toward class 0: %v", counts)
+	}
+}
+
+func TestEEGMotifStructure(t *testing.T) {
+	// Seizure samples must have larger amplitude extremes than background:
+	// the property that lets quantized-level encodings get partial accuracy.
+	ds := MustLoad("EEG", 1)
+	maxAbs := func(x []float64) float64 {
+		m := 0.0
+		for _, v := range x {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		return m
+	}
+	var seiz, bg, nSeiz, nBg float64
+	for i, x := range ds.TrainX {
+		if ds.TrainY[i] == 1 {
+			seiz += maxAbs(x)
+			nSeiz++
+		} else {
+			bg += maxAbs(x)
+			nBg++
+		}
+	}
+	if seiz/nSeiz <= bg/nBg {
+		t.Error("seizure class does not have larger amplitude extremes")
+	}
+	if ds.UseID {
+		t.Error("EEG should disable global id binding")
+	}
+}
+
+func TestLangZeroMeanPositionStats(t *testing.T) {
+	ds := MustLoad("LANG", 1)
+	if ds.UseID {
+		t.Error("LANG should disable global id binding")
+	}
+	if ds.Kind != Sequence {
+		t.Errorf("LANG kind = %v, want sequence", ds.Kind)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	X := [][]float64{{1, 10}, {3, 30}, {5, 50}}
+	st := FitNormalize(X)
+	st.Apply(X)
+	for j := 0; j < 2; j++ {
+		var mean, varr float64
+		for i := range X {
+			mean += X[i][j]
+		}
+		mean /= 3
+		for i := range X {
+			varr += (X[i][j] - mean) * (X[i][j] - mean)
+		}
+		varr /= 3
+		if math.Abs(mean) > 1e-9 || math.Abs(varr-1) > 1e-9 {
+			t.Fatalf("feature %d not standardized: mean=%v var=%v", j, mean, varr)
+		}
+	}
+}
+
+func TestNormalizeConstantFeature(t *testing.T) {
+	X := [][]float64{{2, 1}, {2, 2}, {2, 3}}
+	st := FitNormalize(X)
+	st.Apply(X)
+	for i := range X {
+		if X[i][0] != 0 {
+			t.Fatalf("constant feature not centered to 0: %v", X[i][0])
+		}
+		if math.IsNaN(X[i][1]) || math.IsInf(X[i][1], 0) {
+			t.Fatalf("normalization produced non-finite value")
+		}
+	}
+}
+
+func TestNormalizedDoesNotMutate(t *testing.T) {
+	ds := MustLoad("PAGE", 1)
+	orig := ds.TrainX[0][0]
+	trainX, testX := ds.Normalized()
+	if ds.TrainX[0][0] != orig {
+		t.Fatal("Normalized mutated the dataset")
+	}
+	if len(trainX) != len(ds.TrainX) || len(testX) != len(ds.TestX) {
+		t.Fatal("Normalized changed split sizes")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Tabular: "tabular", TimeSeries: "time-series", Motif: "motif",
+		Sequence: "sequence", Image: "image", Kind(99): "Kind(99)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestAllClusterSetsValid(t *testing.T) {
+	for _, name := range ClusterNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cs := MustLoadCluster(name, 1)
+			if err := cs.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLoadClusterUnknown(t *testing.T) {
+	if _, err := LoadCluster("NOPE", 1); err == nil {
+		t.Fatal("LoadCluster of unknown benchmark did not error")
+	}
+}
+
+func TestClusterSizes(t *testing.T) {
+	want := map[string]int{
+		"Hepta": 212, "Tetra": 400, "TwoDiamonds": 800, "WingNut": 1016, "Iris": 150,
+	}
+	for name, n := range want {
+		cs := MustLoadCluster(name, 1)
+		if len(cs.X) != n {
+			t.Errorf("%s: %d points, want %d", name, len(cs.X), n)
+		}
+	}
+}
+
+func TestHeptaWellSeparated(t *testing.T) {
+	cs := MustLoadCluster("Hepta", 1)
+	// Within-cluster spread must be far smaller than between-center
+	// distance (3.0): compute mean distance to own center.
+	centers := make([][]float64, cs.K)
+	counts := make([]int, cs.K)
+	for i := range centers {
+		centers[i] = make([]float64, cs.Features)
+	}
+	for i, x := range cs.X {
+		k := cs.Labels[i]
+		counts[k]++
+		for j, v := range x {
+			centers[k][j] += v
+		}
+	}
+	for k := range centers {
+		for j := range centers[k] {
+			centers[k][j] /= float64(counts[k])
+		}
+	}
+	var within float64
+	for i, x := range cs.X {
+		c := centers[cs.Labels[i]]
+		var d2 float64
+		for j := range x {
+			d2 += (x[j] - c[j]) * (x[j] - c[j])
+		}
+		within += math.Sqrt(d2)
+	}
+	within /= float64(len(cs.X))
+	if within > 1.5 {
+		t.Errorf("Hepta within-cluster spread %v too large for separation 3", within)
+	}
+}
+
+func TestTwoDiamondsGeometry(t *testing.T) {
+	cs := MustLoadCluster("TwoDiamonds", 1)
+	for i, x := range cs.X {
+		cx := -1.02
+		if cs.Labels[i] == 1 {
+			cx = 1.02
+		}
+		if math.Abs(x[0]-cx)+math.Abs(x[1]) > 1+1e-9 {
+			t.Fatalf("point %d outside its diamond: %v", i, x)
+		}
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	a := MustLoadCluster("WingNut", 5)
+	b := MustLoadCluster("WingNut", 5)
+	for i := range a.X {
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("cluster generation not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+// ClusterSet is an unlabelled-learning benchmark with ground-truth cluster
+// assignments for external validation (normalized mutual information).
+type ClusterSet struct {
+	Name     string
+	Features int
+	K        int // true number of clusters
+	X        [][]float64
+	Labels   []int
+	Lo, Hi   float64
+}
+
+var clusterNames = []string{"Hepta", "Tetra", "TwoDiamonds", "WingNut", "Iris"}
+
+// ClusterNames returns the clustering benchmarks in the paper's Table 2 /
+// Figure 10 order.
+func ClusterNames() []string {
+	out := make([]string, len(clusterNames))
+	copy(out, clusterNames)
+	return out
+}
+
+// LoadCluster generates the named clustering benchmark deterministically.
+// The four FCPS sets follow Ultsch's "Fundamental Clustering Problem Suite"
+// geometric constructions; Iris follows the classical three-species
+// structure (one linearly separable cluster, two overlapping).
+func LoadCluster(name string, seed uint64) (*ClusterSet, error) {
+	r := rng.New(seed ^ hashName("cluster:"+name))
+	var cs *ClusterSet
+	switch name {
+	case "Hepta":
+		cs = genHepta(r)
+	case "Tetra":
+		cs = genTetra(r)
+	case "TwoDiamonds":
+		cs = genTwoDiamonds(r)
+	case "WingNut":
+		cs = genWingNut(r)
+	case "Iris":
+		cs = genIris(r)
+	default:
+		return nil, fmt.Errorf("dataset: unknown clustering benchmark %q (known: %v)", name, clusterNames)
+	}
+	cs.Name = name
+	cs.computeRange()
+	return cs, nil
+}
+
+// MustLoadCluster is LoadCluster that panics on error.
+func MustLoadCluster(name string, seed uint64) *ClusterSet {
+	cs, err := LoadCluster(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+func (c *ClusterSet) computeRange() {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range c.X {
+		for _, v := range x {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	c.Lo, c.Hi = lo, hi
+}
+
+// Validate checks internal consistency.
+func (c *ClusterSet) Validate() error {
+	if len(c.X) != len(c.Labels) || len(c.X) == 0 {
+		return fmt.Errorf("clusterset %s: bad sizes", c.Name)
+	}
+	seen := make([]bool, c.K)
+	for i, x := range c.X {
+		if len(x) != c.Features {
+			return fmt.Errorf("clusterset %s: sample %d has %d features, want %d", c.Name, i, len(x), c.Features)
+		}
+		if c.Labels[i] < 0 || c.Labels[i] >= c.K {
+			return fmt.Errorf("clusterset %s: label %d out of range", c.Name, c.Labels[i])
+		}
+		seen[c.Labels[i]] = true
+	}
+	for k, ok := range seen {
+		if !ok {
+			return fmt.Errorf("clusterset %s: cluster %d empty", c.Name, k)
+		}
+	}
+	return nil
+}
+
+// genHepta: FCPS Hepta — seven clearly separated spherical clusters in 3D,
+// one at the origin and six on the axes. 212 points.
+func genHepta(r *rng.Rand) *ClusterSet {
+	centers := [][3]float64{
+		{0, 0, 0},
+		{3, 0, 0}, {-3, 0, 0},
+		{0, 3, 0}, {0, -3, 0},
+		{0, 0, 3}, {0, 0, -3},
+	}
+	cs := &ClusterSet{Features: 3, K: 7}
+	perCluster := []int{32, 30, 30, 30, 30, 30, 30}
+	for k, c := range centers {
+		for i := 0; i < perCluster[k]; i++ {
+			cs.X = append(cs.X, []float64{
+				c[0] + 0.45*r.NormFloat64(),
+				c[1] + 0.45*r.NormFloat64(),
+				c[2] + 0.45*r.NormFloat64(),
+			})
+			cs.Labels = append(cs.Labels, k)
+		}
+	}
+	return cs
+}
+
+// genTetra: FCPS Tetra — four almost-touching spherical clusters at the
+// vertices of a tetrahedron. 400 points.
+func genTetra(r *rng.Rand) *ClusterSet {
+	s := 1.2
+	centers := [][3]float64{
+		{s, s, s}, {s, -s, -s}, {-s, s, -s}, {-s, -s, s},
+	}
+	cs := &ClusterSet{Features: 3, K: 4}
+	for k, c := range centers {
+		for i := 0; i < 100; i++ {
+			cs.X = append(cs.X, []float64{
+				c[0] + 0.72*r.NormFloat64(),
+				c[1] + 0.72*r.NormFloat64(),
+				c[2] + 0.72*r.NormFloat64(),
+			})
+			cs.Labels = append(cs.Labels, k)
+		}
+	}
+	return cs
+}
+
+// genTwoDiamonds: FCPS TwoDiamonds — two diamond-shaped (L1-ball) clusters
+// in 2D whose corners nearly touch. 800 points.
+func genTwoDiamonds(r *rng.Rand) *ClusterSet {
+	cs := &ClusterSet{Features: 2, K: 2}
+	sample := func(cx float64, label int) {
+		// Uniform in the L1 ball |x|+|y| <= 1 via rejection.
+		for {
+			x := 2*r.Float64() - 1
+			y := 2*r.Float64() - 1
+			if math.Abs(x)+math.Abs(y) <= 1 {
+				cs.X = append(cs.X, []float64{cx + x, y})
+				cs.Labels = append(cs.Labels, label)
+				return
+			}
+		}
+	}
+	for i := 0; i < 400; i++ {
+		sample(-1.02, 0)
+		sample(1.02, 1)
+	}
+	return cs
+}
+
+// genWingNut: FCPS WingNut — two rectangular point slabs with a density
+// gradient that pulls centroid methods toward the dense edges. 1016 points.
+func genWingNut(r *rng.Rand) *ClusterSet {
+	cs := &ClusterSet{Features: 2, K: 2}
+	sample := func(flip float64, label int) {
+		// Rectangle [0,3]x[0,1]; density increases linearly with x via
+		// rejection, then mirrored/offset per wing.
+		for {
+			x := 3 * r.Float64()
+			if r.Float64() > (0.25 + 0.75*x/3) {
+				continue
+			}
+			y := r.Float64()
+			cs.X = append(cs.X, []float64{flip * (x + 0.3), flip*y + (1-flip)/2})
+			cs.Labels = append(cs.Labels, label)
+			return
+		}
+	}
+	for i := 0; i < 508; i++ {
+		sample(1, 0)
+		sample(-1, 1)
+	}
+	return cs
+}
+
+// genIris: the classical Iris structure — three 4-feature clusters, one
+// well separated (setosa) and two overlapping (versicolor/virginica).
+// 150 points.
+func genIris(r *rng.Rand) *ClusterSet {
+	// Means/scales approximate the real dataset (cm).
+	means := [3][4]float64{
+		{5.0, 3.4, 1.5, 0.25}, // setosa
+		{5.9, 2.8, 4.3, 1.3},  // versicolor
+		{6.6, 3.0, 5.6, 2.0},  // virginica
+	}
+	sds := [3][4]float64{
+		{0.35, 0.38, 0.17, 0.10},
+		{0.52, 0.31, 0.47, 0.20},
+		{0.64, 0.32, 0.55, 0.27},
+	}
+	cs := &ClusterSet{Features: 4, K: 3}
+	for k := 0; k < 3; k++ {
+		for i := 0; i < 50; i++ {
+			x := make([]float64, 4)
+			for j := range x {
+				x[j] = means[k][j] + sds[k][j]*r.NormFloat64()
+			}
+			cs.X = append(cs.X, x)
+			cs.Labels = append(cs.Labels, k)
+		}
+	}
+	return cs
+}

@@ -1,0 +1,70 @@
+package encoding
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/edge-hdc/generic/internal/hdc"
+)
+
+// Pool is a set of functionally identical encoders for concurrent batch
+// encoding. Individual encoders carry scratch state and are not safe for
+// concurrent use; a Pool builds one encoder per worker from the same
+// configuration (hence identical hypervector material — the outputs are
+// bit-identical to sequential encoding).
+type Pool struct {
+	encs []Encoder
+}
+
+// NewPool builds a pool of workers encoders (≤ 0 means GOMAXPROCS).
+func NewPool(kind Kind, cfg Config, workers int) (*Pool, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{}
+	for i := 0; i < workers; i++ {
+		e, err := New(kind, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.encs = append(p.encs, e)
+	}
+	return p, nil
+}
+
+// Workers reports the pool size; D the encoders' dimensionality.
+func (p *Pool) Workers() int { return len(p.encs) }
+func (p *Pool) D() int       { return p.encs[0].D() }
+
+// EncodeAll encodes every row of X concurrently and returns the
+// hypervectors in input order. Results are identical to sequential
+// EncodeAll with any of the pool's encoders.
+func (p *Pool) EncodeAll(X [][]float64) []hdc.Vec {
+	out := make([]hdc.Vec, len(X))
+	if len(X) == 0 {
+		return out
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, enc := range p.encs {
+		wg.Add(1)
+		go func(enc Encoder) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(X) {
+					return
+				}
+				v := hdc.NewVec(enc.D())
+				enc.Encode(X[i], v)
+				out[i] = v
+			}
+		}(enc)
+	}
+	wg.Wait()
+	return out
+}

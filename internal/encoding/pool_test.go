@@ -1,0 +1,77 @@
+package encoding
+
+import (
+	"testing"
+
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+func TestPoolMatchesSequential(t *testing.T) {
+	cfg := testCfg(24)
+	pool, err := NewPool(Generic, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Workers() != 4 || pool.D() != cfg.D {
+		t.Fatalf("pool shape wrong: %d workers, D=%d", pool.Workers(), pool.D())
+	}
+	r := rng.New(9)
+	X := make([][]float64, 200)
+	for i := range X {
+		X[i] = randInput(r, 24)
+	}
+	seq := EncodeAll(MustNew(Generic, cfg), X)
+	par := pool.EncodeAll(X)
+	for i := range seq {
+		for j := range seq[i] {
+			if seq[i][j] != par[i][j] {
+				t.Fatalf("sample %d dim %d: parallel %d != sequential %d",
+					i, j, par[i][j], seq[i][j])
+			}
+		}
+	}
+}
+
+func TestPoolEmptyInput(t *testing.T) {
+	pool, err := NewPool(LevelID, testCfg(8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pool.EncodeAll(nil)
+	if len(out) != 0 {
+		t.Fatal("non-empty output for empty input")
+	}
+}
+
+func TestPoolDefaultWorkers(t *testing.T) {
+	pool, err := NewPool(Permute, testCfg(8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Workers() < 1 {
+		t.Fatal("no workers")
+	}
+}
+
+func TestPoolInvalidConfig(t *testing.T) {
+	if _, err := NewPool(Generic, Config{D: 100, Features: 4}, 2); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func BenchmarkPoolEncode200(b *testing.B) {
+	cfg := Config{D: 2048, Features: 64, Bins: 64, Lo: 0, Hi: 1, N: 3, UseID: true, Seed: 1}
+	pool, err := NewPool(Generic, cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	X := make([][]float64, 200)
+	for i := range X {
+		X[i] = randInput(r, 64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.EncodeAll(X)
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationWindowShape(t *testing.T) {
+	res, err := AblationWindow(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MeanByN) != len(res.Ns) {
+		t.Fatal("missing mean columns")
+	}
+	// The paper picks n=3 as the average-best; allow n∈{2,3} here (the
+	// synthetic benchmarks are slightly friendlier to short windows), but
+	// long windows must not win.
+	if best := res.BestN(); best > 3 {
+		t.Errorf("best window length %d; expected 2 or 3", best)
+	}
+	// Window length must matter somewhere: the spread across n on at least
+	// one benchmark exceeds 2%.
+	spreadSeen := false
+	for _, name := range res.Datasets {
+		lo, hi := 1.0, 0.0
+		for _, a := range res.Acc[name] {
+			if a < lo {
+				lo = a
+			}
+			if a > hi {
+				hi = a
+			}
+		}
+		if hi-lo > 0.02 {
+			spreadSeen = true
+		}
+	}
+	if !spreadSeen {
+		t.Error("window length had no effect on any benchmark")
+	}
+	if !strings.Contains(res.String(), "n=3") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestAblationIDShape(t *testing.T) {
+	res, err := AblationID(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positional benchmarks need the id binding...
+	for _, name := range []string{"MNIST", "ISOLET"} {
+		on, off, ok := res.AccFor(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if on < off+0.05 {
+			t.Errorf("%s: id binding should help clearly (on %.3f, off %.3f)", name, on, off)
+		}
+	}
+	// ...while motif/sequence benchmarks must not need it (the reason the
+	// paper allows id = 0 per application).
+	for _, name := range []string{"EEG", "LANG"} {
+		on, off, ok := res.AccFor(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if off < on-0.05 {
+			t.Errorf("%s: disabling ids should not hurt (on %.3f, off %.3f)", name, on, off)
+		}
+	}
+	if !strings.Contains(res.String(), "with id") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestAblationBinsShape(t *testing.T) {
+	res, err := AblationBins(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy with 64 bins must be at least as good as with 4 bins on
+	// average (saturating, not degrading).
+	if res.MeanBy[len(res.MeanBy)-1] < res.MeanBy[0]-0.02 {
+		t.Errorf("64 bins (%.3f) worse than 4 bins (%.3f) on average",
+			res.MeanBy[len(res.MeanBy)-1], res.MeanBy[0])
+	}
+	if !strings.Contains(res.String(), "bins") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestPowerGatingShape(t *testing.T) {
+	res, err := PowerGating(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 {
+		t.Fatalf("expected 11 benchmarks, got %d", len(res.Rows))
+	}
+	// The paper's §4.3.2 landscape: average fill ~28%, small apps at the
+	// 1-bank floor, mean gated static near 0.09 mW.
+	if res.MeanFill < 0.1 || res.MeanFill > 0.5 {
+		t.Errorf("mean fill = %.2f, want ≈ 0.28", res.MeanFill)
+	}
+	if res.MeanStaticMW < 0.05 || res.MeanStaticMW > 0.15 {
+		t.Errorf("mean gated static = %.3f mW, want ≈ 0.09", res.MeanStaticMW)
+	}
+	minFill, maxFill := 1.0, 0.0
+	for _, row := range res.Rows {
+		if row.Fill < minFill {
+			minFill = row.Fill
+		}
+		if row.Fill > maxFill {
+			maxFill = row.Fill
+		}
+		if row.ActiveBanks < 1 || row.ActiveBanks > 4 {
+			t.Errorf("%s: %.1f active banks out of range", row.Dataset, row.ActiveBanks)
+		}
+	}
+	if maxFill <= minFill {
+		t.Error("occupancy should vary across benchmarks")
+	}
+	if !strings.Contains(res.String(), "Power gating") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestEpochSaturationShape(t *testing.T) {
+	res, err := EpochSaturation(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range res.Datasets {
+		accs := res.Acc[name]
+		if len(accs) != len(res.Epochs) {
+			t.Fatalf("%s: %d points for %d budgets", name, len(accs), len(res.Epochs))
+		}
+		// More epochs never hurt badly (retraining is stable)...
+		if accs[len(accs)-1] < accs[0]-0.05 {
+			t.Errorf("%s: accuracy degraded with epochs: %.3f -> %.3f",
+				name, accs[0], accs[len(accs)-1])
+		}
+		// ...and the §5.2.1 claim: saturation well before the constant 20.
+		if sat := res.SaturationEpoch(name, 0.02); sat > 10 {
+			t.Errorf("%s: saturates only at %d epochs, paper says 'a few'", name, sat)
+		}
+	}
+	if !strings.Contains(res.String(), "saturates by") {
+		t.Error("rendering incomplete")
+	}
+}

@@ -1,0 +1,130 @@
+// Package experiments regenerates every table and figure of the GENERIC
+// paper's evaluation (DAC'22 §3.2, §5): each experiment is a function that
+// runs the actual implementations in this repository — encoders,
+// classifiers, baselines, the accelerator simulator, and the device energy
+// models — and returns structured rows plus a paper-style text rendering.
+//
+// The EXPERIMENTS.md file at the repository root records, for each
+// experiment, the paper's reported numbers next to the numbers this harness
+// measures, and which shape properties are expected to hold.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/edge-hdc/generic/internal/dataset"
+	"github.com/edge-hdc/generic/internal/encoding"
+)
+
+// Config controls the fidelity/runtime trade-off of the harness.
+type Config struct {
+	// Seed drives all stochastic components.
+	Seed uint64
+	// D is the hypervector dimensionality (paper default 4096).
+	D int
+	// Epochs is the HDC retraining epoch count (paper: 20).
+	Epochs int
+	// Quick shrinks dimensionalities and training budgets so the whole
+	// suite runs in seconds (used by tests and Go benchmarks); the shapes
+	// of every result are preserved, only variances grow.
+	Quick bool
+}
+
+// Default returns the paper-fidelity configuration.
+func Default() Config { return Config{Seed: 1, D: 4096, Epochs: 20} }
+
+// QuickConfig returns the fast configuration for tests and benches.
+func QuickConfig() Config { return Config{Seed: 1, D: 1024, Epochs: 5, Quick: true} }
+
+func (c Config) normalized() Config {
+	if c.D == 0 {
+		c.D = 4096
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// encoderFor builds the encoder of the given kind for a dataset, honoring
+// the per-application id setting the paper prescribes for the GENERIC
+// encoding (§3.1: id hypervectors are zeroed where global window order is
+// uninformative).
+func encoderFor(kind encoding.Kind, ds *dataset.Dataset, d int, seed uint64) (encoding.Encoder, error) {
+	n := 3
+	if ds.Features < n {
+		n = ds.Features
+	}
+	return encoding.New(kind, encoding.Config{
+		D: d, Features: ds.Features, Bins: 64, Lo: ds.Lo, Hi: ds.Hi,
+		N: n, UseID: ds.UseID, Seed: seed,
+	})
+}
+
+// fmtPct renders 0.935 as "93.5".
+func fmtPct(x float64) string { return fmt.Sprintf("%5.1f", 100*x) }
+
+// fmtEng renders a quantity in engineering notation with a unit.
+func fmtEng(x float64, unit string) string {
+	switch {
+	case x == 0:
+		return "0 " + unit
+	case x >= 1:
+		return fmt.Sprintf("%.3g %s", x, unit)
+	case x >= 1e-3:
+		return fmt.Sprintf("%.3g m%s", x*1e3, unit)
+	case x >= 1e-6:
+		return fmt.Sprintf("%.3g µ%s", x*1e6, unit)
+	case x >= 1e-9:
+		return fmt.Sprintf("%.3g n%s", x*1e9, unit)
+	default:
+		return fmt.Sprintf("%.3g p%s", x*1e12, unit)
+	}
+}
+
+// table is a tiny fixed-width text-table builder for paper-style output.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run the Quick configuration and assert the *shape*
+// properties DESIGN.md §4 commits to — orderings, crossovers, dominance —
+// rather than absolute numbers.
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 takes ~15 s even in quick mode")
+	}
+	res, err := Table1(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 {
+		t.Fatalf("expected 11 benchmarks, got %d", len(res.Rows))
+	}
+	// GENERIC has the best mean accuracy among HDC encodings...
+	m := res.Mean
+	for _, other := range []float64{m.RP, m.LevelID, m.Ngram, m.Permute} {
+		if m.Generic <= other {
+			t.Errorf("GENERIC mean %.3f not above all HDC baselines (one is %.3f)", m.Generic, other)
+		}
+	}
+	// ...and the lowest standard deviation (it fails nowhere).
+	s := res.Std
+	for _, other := range []float64{s.RP, s.LevelID, s.Ngram, s.Permute} {
+		if s.Generic >= other {
+			t.Errorf("GENERIC std %.3f not below all HDC baselines (one is %.3f)", s.Generic, other)
+		}
+	}
+	// GENERIC beats the best classical baseline on mean accuracy.
+	for _, other := range []float64{m.MLP, m.SVM, m.RF, m.DNN} {
+		if m.Generic <= other {
+			t.Errorf("GENERIC mean %.3f not above all ML baselines (one is %.3f)", m.Generic, other)
+		}
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range res.Rows {
+		byName[r.Dataset] = r
+	}
+	// RP collapses on the zero-mean time-series benchmarks.
+	if eeg := byName["EEG"]; eeg.RP > eeg.Generic-0.2 {
+		t.Errorf("RP should collapse on EEG: RP %.3f vs GENERIC %.3f", eeg.RP, eeg.Generic)
+	}
+	if emg := byName["EMG"]; emg.RP > emg.LevelID-0.2 {
+		t.Errorf("RP should collapse on EMG: RP %.3f vs level-id %.3f", emg.RP, emg.LevelID)
+	}
+	// ngram collapses on positional benchmarks but aces sequences.
+	if mn := byName["MNIST"]; mn.Ngram > mn.Generic-0.2 {
+		t.Errorf("ngram should collapse on MNIST: %.3f vs %.3f", mn.Ngram, mn.Generic)
+	}
+	if iso := byName["ISOLET"]; iso.Ngram > iso.Generic-0.2 {
+		t.Errorf("ngram should collapse on ISOLET: %.3f vs %.3f", iso.Ngram, iso.Generic)
+	}
+	lang := byName["LANG"]
+	if lang.Ngram < 0.85 || lang.Generic < 0.85 {
+		t.Errorf("ngram/GENERIC should ace LANG: %.3f / %.3f", lang.Ngram, lang.Generic)
+	}
+	if lang.RP > 0.3 || lang.LevelID > lang.Generic-0.3 {
+		t.Errorf("positional encodings should fail LANG: RP %.3f, level-id %.3f", lang.RP, lang.LevelID)
+	}
+	// Rendering sanity.
+	out := res.String()
+	if !strings.Contains(out, "GENERIC") || !strings.Contains(out, "Mean") {
+		t.Error("Table 1 rendering incomplete")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("expected 5 clustering benchmarks, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.KMeans < 0.5 {
+			t.Errorf("%s: k-means NMI %.3f unexpectedly low", row.Dataset, row.KMeans)
+		}
+		if row.HDC < row.KMeans-0.35 {
+			t.Errorf("%s: HDC NMI %.3f too far below k-means %.3f", row.Dataset, row.HDC, row.KMeans)
+		}
+	}
+	// Paper: k-means slightly ahead on average (gap 0.031); allow generous
+	// room but require "same band".
+	if res.MeanGap > 0.25 || res.MeanGap < -0.25 {
+		t.Errorf("mean NMI gap %.3f outside the same-band expectation", res.MeanGap)
+	}
+	if !strings.Contains(res.String(), "Hepta") {
+		t.Error("Table 2 rendering incomplete")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	res, err := Figure3(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HDC on eGPU must be ≥ 2 orders of magnitude cheaper than on the Pi.
+	rpi, ok1 := res.Cell("Raspberry Pi", "GENERIC")
+	egpu, ok2 := res.Cell("eGPU", "GENERIC")
+	cpu, ok3 := res.Cell("CPU", "GENERIC")
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("missing GENERIC cells")
+	}
+	if ratio := rpi.InferEnergyJ / egpu.InferEnergyJ; ratio < 50 {
+		t.Errorf("RPi/eGPU GENERIC inference energy ratio = %.0f, want ≥ 50 (paper: 134)", ratio)
+	}
+	if ratio := cpu.InferEnergyJ / egpu.InferEnergyJ; ratio < 10 {
+		t.Errorf("CPU/eGPU GENERIC inference energy ratio = %.0f, want ≥ 10 (paper: 70)", ratio)
+	}
+	// On Pi and CPU, every classical baseline costs less energy than
+	// GENERIC-encoded HDC (Fig. 3 claim (i)).
+	for _, dev := range []string{"Raspberry Pi", "CPU"} {
+		hdc, _ := res.Cell(dev, "GENERIC")
+		for _, alg := range []string{"MLP", "SVM", "RF", "LR", "DNN"} {
+			mlCell, ok := res.Cell(dev, alg)
+			if !ok {
+				t.Fatalf("missing %s/%s", dev, alg)
+			}
+			if mlCell.InferEnergyJ >= hdc.InferEnergyJ {
+				t.Errorf("%s: %s inference (%g) not cheaper than HDC (%g)",
+					dev, alg, mlCell.InferEnergyJ, hdc.InferEnergyJ)
+			}
+		}
+	}
+	// GENERIC encoding costs more than level-id on conventional hardware
+	// (claim (ii): it processes multiple hypervectors per window).
+	lid, _ := res.Cell("CPU", "level-id")
+	genc, _ := res.Cell("CPU", "GENERIC")
+	if genc.InferEnergyJ <= lid.InferEnergyJ {
+		t.Errorf("GENERIC (%g) should cost more than level-id (%g) on CPU",
+			genc.InferEnergyJ, lid.InferEnergyJ)
+	}
+	// The eGPU table only carries HDC + DNN (the paper omits other ML).
+	if _, ok := res.Cell("eGPU", "RF"); ok {
+		t.Error("eGPU should not report RF (omitted in the paper)")
+	}
+	if !strings.Contains(res.String(), "Figure 3") {
+		t.Error("Figure 3 rendering incomplete")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	res, err := Figure5(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 2 {
+		t.Fatalf("expected EEG and ISOLET curves, got %d", len(res.Curves))
+	}
+	for _, c := range res.Curves {
+		last := c.Points[len(c.Points)-1]
+		// At full dimensionality both modes coincide.
+		if last.ConstantNorm != last.UpdatedNorm {
+			t.Errorf("%s: full-D accuracies differ (%.3f vs %.3f)",
+				c.Dataset, last.ConstantNorm, last.UpdatedNorm)
+		}
+		// Updated norms must dominate constant norms at every point.
+		for _, p := range c.Points {
+			if p.UpdatedNorm < p.ConstantNorm-0.02 {
+				t.Errorf("%s @ %d dims: updated %.3f below constant %.3f",
+					c.Dataset, p.Dims, p.UpdatedNorm, p.ConstantNorm)
+			}
+		}
+	}
+	// The paper's headline: a substantial gap opens at reduced dimensions
+	// on EEG (up to 20.1%).
+	if gap := res.MaxGap("EEG"); gap < 0.03 {
+		t.Errorf("EEG constant-vs-updated max gap = %.3f, want noticeable (paper: 0.201)", gap)
+	}
+	if !strings.Contains(res.String(), "Figure 5") {
+		t.Error("Figure 5 rendering incomplete")
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	res, err := Figure6(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 2 {
+		t.Fatalf("expected ISOLET and FACE curves, got %d", len(res.Curves))
+	}
+	for _, c := range res.Curves {
+		// Fault-free accuracy must be healthy for every bit-width.
+		for _, bw := range Fig6BitWidths {
+			if c.Points[0].Accuracy[bw] < 0.6 {
+				t.Errorf("%s bw=%d: fault-free accuracy %.3f too low",
+					c.Dataset, bw, c.Points[0].Accuracy[bw])
+			}
+		}
+		// Power savings grow monotonically with BER.
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].StaticSaving < c.Points[i-1].StaticSaving {
+				t.Errorf("%s: static saving not monotone at BER %.3f",
+					c.Dataset, c.Points[i].BER)
+			}
+		}
+	}
+	// FACE's 1-bit model tolerates high BER (paper: up to 7% with little
+	// loss) — a key error-resilience claim.
+	if tol := res.ToleratedBER("FACE", 1, 0.05); tol < 0.02 {
+		t.Errorf("FACE 1-bit tolerated BER = %.3f, want ≥ 0.02 (paper: ~0.07)", tol)
+	}
+	if !strings.Contains(res.String(), "Figure 6") {
+		t.Error("Figure 6 rendering incomplete")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	res, err := Figure7(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AreaMM2.Total() < 0.29 || res.AreaMM2.Total() > 0.31 {
+		t.Errorf("area = %.3f mm², paper: 0.30", res.AreaMM2.Total())
+	}
+	if res.GatedStaticMW < 0.06 || res.GatedStaticMW > 0.13 {
+		t.Errorf("gated static = %.3f mW, paper: 0.09", res.GatedStaticMW)
+	}
+	if res.AvgDynamicMW < 1.0 || res.AvgDynamicMW > 3.0 {
+		t.Errorf("avg dynamic = %.2f mW, paper: 1.79", res.AvgDynamicMW)
+	}
+	if res.DynamicShares.ClassMem < 0.55 {
+		t.Errorf("class-memory dynamic share = %.2f, must dominate", res.DynamicShares.ClassMem)
+	}
+	if !strings.Contains(res.String(), "class mem") {
+		t.Error("Figure 7 rendering incomplete")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	res, err := Figure8(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := res.Bar("GENERIC")
+	rf, _ := res.Bar("RF (CPU)")
+	dnn, _ := res.Bar("DNN (eGPU)")
+	hdc, _ := res.Bar("HDC (eGPU)")
+	// GENERIC's training energy sits orders of magnitude below every
+	// conventional platform (paper: 528× vs RF, 1257× vs DNN, 694× vs
+	// eGPU-HDC).
+	for _, other := range []Fig8Bar{rf, dnn, hdc} {
+		if ratio := other.EnergyJ / gen.EnergyJ; ratio < 50 {
+			t.Errorf("GENERIC training energy advantage over %s = %.0f×, want ≫ 50", other.Label, ratio)
+		}
+	}
+	// RF trains faster than GENERIC (paper: 12×); DNN slower (11×).
+	if rf.TimeS >= gen.TimeS {
+		t.Errorf("RF should train faster per input: RF %g s vs GENERIC %g s", rf.TimeS, gen.TimeS)
+	}
+	if dnn.TimeS <= gen.TimeS {
+		t.Errorf("DNN should train slower per input: DNN %g s vs GENERIC %g s", dnn.TimeS, gen.TimeS)
+	}
+	// GENERIC's training power is milliwatt-scale (paper: 2.06 mW).
+	if p := res.GenericTrainPowerW * 1e3; p < 0.5 || p > 6 {
+		t.Errorf("GENERIC training power = %.2f mW, want ≈ 2", p)
+	}
+	if !strings.Contains(res.String(), "Figure 8") {
+		t.Error("Figure 8 rendering incomplete")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	res, err := Figure9(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, _ := res.Bar("GENERIC-LP")
+	gen, _ := res.Bar("GENERIC")
+	tiny, _ := res.Bar("tiny-HD [8]")
+	datta, _ := res.Bar("Datta et al. [10]")
+	rf, _ := res.Bar("RF (CPU)")
+	hdc, _ := res.Bar("HDC (eGPU)")
+	// Ordering: LP < tiny-HD < Datta ≤ conventional platforms.
+	if !(lp.EnergyJ < tiny.EnergyJ && tiny.EnergyJ < datta.EnergyJ) {
+		t.Errorf("ASIC ordering violated: LP %g, tiny-HD %g, Datta %g",
+			lp.EnergyJ, tiny.EnergyJ, datta.EnergyJ)
+	}
+	if datta.EnergyJ >= rf.EnergyJ {
+		t.Errorf("even the least efficient ASIC should beat CPU baselines: Datta %g vs RF %g",
+			datta.EnergyJ, rf.EnergyJ)
+	}
+	// LP reduction over baseline in the paper's 15.5× ballpark.
+	if red := res.LPReduction(); red < 5 || red > 60 {
+		t.Errorf("LP reduction = %.1f×, want same ballpark as paper's 15.5×", red)
+	}
+	// Headline orders of magnitude: LP vs RF ≥ 3 decades; vs eGPU-HDC more.
+	if ratio := rf.EnergyJ / lp.EnergyJ; ratio < 300 {
+		t.Errorf("LP vs RF = %.0f×, want ≥ 300 (paper: 1593×)", ratio)
+	}
+	// Our eGPU model is more favorable to the eGPU than the paper's
+	// measured Python stack, so the ratio lands near ~900× instead of
+	// 8796× — same direction, one decade tighter (see EXPERIMENTS.md).
+	if ratio := hdc.EnergyJ / lp.EnergyJ; ratio < 500 {
+		t.Errorf("LP vs eGPU-HDC = %.0f×, want ≥ 500 (paper: 8796×)", ratio)
+	}
+	if gen.EnergyJ >= rf.EnergyJ {
+		t.Error("baseline GENERIC must already beat CPU baselines")
+	}
+	if !strings.Contains(res.String(), "Figure 9") {
+		t.Error("Figure 9 rendering incomplete")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	res, err := Figure10(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("expected 5 clustering benchmarks, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.GenericJ >= row.KMeansCPUJ || row.GenericJ >= row.KMeansRPiJ {
+			t.Errorf("%s: GENERIC (%g J) should be far below k-means (CPU %g, RPi %g)",
+				row.Dataset, row.GenericJ, row.KMeansCPUJ, row.KMeansRPiJ)
+		}
+	}
+	// Orders of magnitude (paper: 61,400× CPU / 17,523× RPi energy;
+	// 26×/41× latency).
+	if adv := res.MeanEnergyAdvantage("CPU"); adv < 100 {
+		t.Errorf("clustering energy advantage vs CPU = %.0f×, want ≥ 100", adv)
+	}
+	if sp := res.MeanSpeedup("RPi"); sp < 2 {
+		t.Errorf("clustering speedup vs RPi = %.1f×, want > 2", sp)
+	}
+	if !strings.Contains(res.String(), "Figure 10") {
+		t.Error("Figure 10 rendering incomplete")
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/edge-hdc/generic/internal/power"
+	"github.com/edge-hdc/generic/internal/sim"
+)
+
+// Fig7Result reproduces Figure 7 and the §5.1 silicon summary: the area,
+// static-power, and dynamic-power component breakdowns of the accelerator.
+type Fig7Result struct {
+	AreaMM2       power.Breakdown
+	StaticMW      power.Breakdown // all banks powered (worst case)
+	DynamicShares power.Breakdown // fractions of dynamic energy on a
+	// representative classification workload
+	GatedStaticMW float64 // application-average static power (§5.1: 0.09)
+	AvgDynamicMW  float64 // application-average dynamic power (§5.1: 1.79)
+}
+
+// Figure7 evaluates the component model on a representative workload
+// (D=4K, d=128, nC=10, 28% class-memory fill — the datasets' average).
+func Figure7(cfg Config) (*Fig7Result, error) {
+	cfg = cfg.normalized()
+	spec := sim.Spec{D: 4096, Features: 128, N: 3, Classes: 10, BW: 16, UseID: true}
+	acc, err := sim.New(spec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, spec.Features)
+	for i := range x {
+		x[i] = float64(i%13) / 13
+	}
+	for i := 0; i < 16; i++ {
+		acc.Infer(x)
+	}
+	pcfg := power.Config{ActiveBankFrac: 0.3} // ≈28% average fill (§4.3.2)
+	rep := power.Energy(acc.Stats(), pcfg)
+	return &Fig7Result{
+		AreaMM2:       power.Area(),
+		StaticMW:      power.StaticPowerAllBanks(),
+		DynamicShares: rep.DynParts.Fractions(),
+		GatedStaticMW: power.StaticPowerW(pcfg) * 1e3,
+		AvgDynamicMW:  rep.DynamicJ / rep.Seconds * 1e3,
+	}, nil
+}
+
+// String renders the three pies as percentage tables plus the §5.1 summary.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: area and power breakdown\n")
+	t := &table{header: []string{"Component", "Area %", "Static %", "Dynamic %"}}
+	area := r.AreaMM2.Fractions()
+	st := r.StaticMW.Fractions()
+	rows := []struct {
+		name    string
+		a, s, d float64
+	}{
+		{"control", area.Control, st.Control, r.DynamicShares.Control},
+		{"datapath", area.Datapath, st.Datapath, r.DynamicShares.Datapath},
+		{"base mem", area.BaseMem, st.BaseMem, r.DynamicShares.BaseMem},
+		{"feature mem", area.FeatureMem, st.FeatureMem, r.DynamicShares.FeatureMem},
+		{"level mem", area.LevelMem, st.LevelMem, r.DynamicShares.LevelMem},
+		{"class mem", area.ClassMem, st.ClassMem, r.DynamicShares.ClassMem},
+	}
+	for _, row := range rows {
+		t.addRow(row.name, fmtPct(row.a), fmtPct(row.s), fmtPct(row.d))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "total area: %.2f mm² | worst-case static: %.2f mW | "+
+		"gated static: %.3f mW | avg dynamic: %.2f mW @ %d MHz\n",
+		r.AreaMM2.Total(), r.StaticMW.Total(), r.GatedStaticMW, r.AvgDynamicMW,
+		int(sim.ClockHz/1e6))
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package hdc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Acc bundles binary hypervectors: it counts, per dimension, how many of the
+// added vectors had bit 1. Counts are kept bit-sliced — plane j holds bit j
+// of every dimension's counter — so adding a vector costs a handful of word
+// operations per 64 dimensions instead of 64 integer additions. This mirrors
+// the counter-based bundling datapath of HDC accelerators.
+//
+// After adding W vectors, the bipolar bundle value of dimension i is
+// 2·count(i) − W, which Bipolar() materializes into an integer vector.
+type Acc struct {
+	d      int
+	n      int // number of vectors added
+	planes [][]uint64
+	carry  []uint64 // scratch for the ripple-carry add
+}
+
+// NewAcc returns an empty accumulator of d dimensions.
+func NewAcc(d int) *Acc {
+	checkDim(d)
+	return &Acc{d: d}
+}
+
+// D returns the dimensionality.
+func (a *Acc) D() int { return a.d }
+
+// Count returns the number of vectors added so far.
+func (a *Acc) Count() int { return a.n }
+
+// Reset empties the accumulator for reuse without reallocating planes.
+func (a *Acc) Reset() {
+	a.n = 0
+	for _, p := range a.planes {
+		for i := range p {
+			p[i] = 0
+		}
+	}
+}
+
+// Add bundles v into the accumulator.
+func (a *Acc) Add(v *BitVec) {
+	if v.d != a.d {
+		panic("hdc: Acc.Add dimensionality mismatch")
+	}
+	a.n++
+	nw := a.d / WordBits
+	// Ripple-carry add of the 1-bit vector into the bit-sliced counters.
+	if a.carry == nil {
+		a.carry = make([]uint64, nw)
+	}
+	carry := a.carry
+	copy(carry, v.words)
+	for j := 0; ; j++ {
+		if j == len(a.planes) {
+			a.planes = append(a.planes, make([]uint64, nw))
+		}
+		plane := a.planes[j]
+		done := true
+		for w := 0; w < nw; w++ {
+			c := carry[w]
+			if c == 0 {
+				continue
+			}
+			old := plane[w]
+			plane[w] = old ^ c
+			carry[w] = old & c
+			if carry[w] != 0 {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// CountAt returns the per-dimension count for dimension i.
+func (a *Acc) CountAt(i int) int {
+	c := 0
+	w, b := i/WordBits, uint(i)%WordBits
+	for j, p := range a.planes {
+		c |= int(p[w]>>b&1) << uint(j)
+	}
+	return c
+}
+
+// Counts writes the per-dimension counts into dst, which must have length D.
+func (a *Acc) Counts(dst []int32) {
+	if len(dst) != a.d {
+		panic(fmt.Sprintf("hdc: Acc.Counts needs len %d, got %d", a.d, len(dst)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j, p := range a.planes {
+		for w, word := range p {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				dst[w*WordBits+b] += 1 << uint(j)
+				word &= word - 1
+			}
+		}
+	}
+}
+
+// Bipolar writes the bipolar bundle 2·count − n into dst (length D).
+func (a *Acc) Bipolar(dst []int32) {
+	a.Counts(dst)
+	n := int32(a.n)
+	for i := range dst {
+		dst[i] = 2*dst[i] - n
+	}
+}
+
+// Threshold materializes the majority vote: bit i of the result is 1 when
+// more than half the added vectors had bit 1 there. Ties (possible only for
+// even counts) break toward 0. It panics if the accumulator is empty.
+func (a *Acc) Threshold() *BitVec {
+	if a.n == 0 {
+		panic("hdc: Threshold on empty accumulator")
+	}
+	counts := make([]int32, a.d)
+	a.Counts(counts)
+	out := NewBitVec(a.d)
+	half := int32(a.n)
+	for i, c := range counts {
+		if 2*c > half {
+			out.SetBit(i, 1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+// Package hdc implements the hyperdimensional-computing primitives that the
+// GENERIC engine is built on: bit-packed binary hypervectors with bipolar
+// (±1) semantics, XOR binding, rotation (permutation), bundling accumulators,
+// level-hypervector ladders, and rotating-seed id generation.
+//
+// Binary hypervectors are stored one bit per dimension in []uint64 words;
+// bit 1 represents bipolar +1 and bit 0 represents −1. Under this mapping,
+// element-wise bipolar multiplication is XOR of the complement — we follow
+// the usual HDC convention where XOR itself is used as the bind operator
+// (it flips the sign convention uniformly, which no similarity metric can
+// observe). Dot products reduce to popcounts:
+//
+//	dot(a, b) = D − 2·hamming(a, b)
+//
+// All dimensionalities must be multiples of 64 so vectors pack exactly into
+// words; GENERIC's native sizes (512 … 8192, sub-norm granularity 128) all
+// satisfy this.
+package hdc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+// WordBits is the number of dimensions packed per storage word.
+const WordBits = 64
+
+// BitVec is a binary hypervector of fixed dimensionality.
+type BitVec struct {
+	d     int
+	words []uint64
+}
+
+// NewBitVec returns an all-zero (all −1 bipolar) hypervector of d dimensions.
+// It panics if d is not a positive multiple of 64.
+func NewBitVec(d int) *BitVec {
+	checkDim(d)
+	return &BitVec{d: d, words: make([]uint64, d/WordBits)}
+}
+
+// RandomBitVec returns a hypervector with i.i.d. uniform random bits.
+func RandomBitVec(d int, r *rng.Rand) *BitVec {
+	v := NewBitVec(d)
+	r.FillBits(v.words)
+	return v
+}
+
+func checkDim(d int) {
+	if d <= 0 || d%WordBits != 0 {
+		panic(fmt.Sprintf("hdc: dimensionality %d must be a positive multiple of %d", d, WordBits))
+	}
+}
+
+// D returns the dimensionality.
+func (v *BitVec) D() int { return v.d }
+
+// Words exposes the packed storage. The slice must not be resized.
+func (v *BitVec) Words() []uint64 { return v.words }
+
+// Bit reports dimension i as 0 or 1.
+func (v *BitVec) Bit(i int) int {
+	return int(v.words[i/WordBits]>>(uint(i)%WordBits)) & 1
+}
+
+// SetBit sets dimension i to b (0 or 1).
+func (v *BitVec) SetBit(i, b int) {
+	w, m := i/WordBits, uint64(1)<<(uint(i)%WordBits)
+	if b != 0 {
+		v.words[w] |= m
+	} else {
+		v.words[w] &^= m
+	}
+}
+
+// Bipolar reports dimension i as +1 or −1.
+func (v *BitVec) Bipolar(i int) int { return 2*v.Bit(i) - 1 }
+
+// Clone returns a deep copy of v.
+func (v *BitVec) Clone() *BitVec {
+	c := NewBitVec(v.d)
+	copy(c.words, v.words)
+	return c
+}
+
+// CopyFrom overwrites v with src. The dimensionalities must match.
+func (v *BitVec) CopyFrom(src *BitVec) {
+	if v.d != src.d {
+		panic("hdc: CopyFrom dimensionality mismatch")
+	}
+	copy(v.words, src.words)
+}
+
+// Equal reports whether v and o have identical dimensionality and bits.
+func (v *BitVec) Equal(o *BitVec) bool {
+	if v.d != o.d {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// XorInto stores a ⊕ b into dst. All three must share a dimensionality;
+// dst may alias a or b.
+func XorInto(dst, a, b *BitVec) {
+	if dst.d != a.d || a.d != b.d {
+		panic("hdc: XorInto dimensionality mismatch")
+	}
+	for i := range dst.words {
+		dst.words[i] = a.words[i] ^ b.words[i]
+	}
+}
+
+// XorAccumulate folds v into dst: dst ^= v.
+func XorAccumulate(dst, v *BitVec) {
+	if dst.d != v.d {
+		panic("hdc: XorAccumulate dimensionality mismatch")
+	}
+	for i := range dst.words {
+		dst.words[i] ^= v.words[i]
+	}
+}
+
+// RotateInto writes the circular rotation of src by k positions into dst:
+// bit i of src becomes bit (i+k) mod D of dst. This is the permutation ρ(k)
+// used by the permutation and GENERIC encodings and by the id generator.
+// dst must not alias src unless k == 0.
+func RotateInto(dst, src *BitVec, k int) {
+	if dst.d != src.d {
+		panic("hdc: RotateInto dimensionality mismatch")
+	}
+	n := len(src.words)
+	k %= src.d
+	if k < 0 {
+		k += src.d
+	}
+	if k == 0 {
+		copy(dst.words, src.words)
+		return
+	}
+	ws, bs := k/WordBits, uint(k%WordBits)
+	if bs == 0 {
+		for w := 0; w < n; w++ {
+			dst.words[w] = src.words[((w-ws)%n+n)%n]
+		}
+		return
+	}
+	for w := 0; w < n; w++ {
+		lo := src.words[((w-ws)%n+n)%n]
+		hi := src.words[((w-ws-1)%n+n)%n]
+		dst.words[w] = lo<<bs | hi>>(WordBits-bs)
+	}
+}
+
+// Rotate returns a freshly allocated rotation of v by k positions.
+func Rotate(v *BitVec, k int) *BitVec {
+	dst := NewBitVec(v.d)
+	RotateInto(dst, v, k)
+	return dst
+}
+
+// Hamming returns the number of dimensions where a and b differ.
+func Hamming(a, b *BitVec) int {
+	if a.d != b.d {
+		panic("hdc: Hamming dimensionality mismatch")
+	}
+	h := 0
+	for i, w := range a.words {
+		h += bits.OnesCount64(w ^ b.words[i])
+	}
+	return h
+}
+
+// Dot returns the bipolar dot product of a and b: D − 2·hamming(a, b).
+// Orthogonal vectors score ≈ 0; identical vectors score D.
+func Dot(a, b *BitVec) int {
+	return a.d - 2*Hamming(a, b)
+}
+
+// OnesCount returns the number of 1 bits in v.
+func (v *BitVec) OnesCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// FlipBits flips each bit of v independently with probability rate, drawing
+// randomness from r. It returns the number of bits flipped. This models
+// memory bit errors under voltage over-scaling.
+func (v *BitVec) FlipBits(rate float64, r *rng.Rand) int {
+	if rate <= 0 {
+		return 0
+	}
+	flipped := 0
+	for i := 0; i < v.d; i++ {
+		if r.Float64() < rate {
+			v.words[i/WordBits] ^= 1 << (uint(i) % WordBits)
+			flipped++
+		}
+	}
+	return flipped
+}
+
+// String renders a short diagnostic form.
+func (v *BitVec) String() string {
+	return fmt.Sprintf("BitVec(D=%d, ones=%d)", v.d, v.OnesCount())
+}

@@ -1,0 +1,266 @@
+package hdc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+const testD = 1024
+
+func TestNewBitVecPanicsOnBadDim(t *testing.T) {
+	for _, d := range []int{0, -64, 63, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBitVec(%d) did not panic", d)
+				}
+			}()
+			NewBitVec(d)
+		}()
+	}
+}
+
+func TestBitSetGet(t *testing.T) {
+	v := NewBitVec(128)
+	for _, i := range []int{0, 1, 63, 64, 65, 127} {
+		if v.Bit(i) != 0 {
+			t.Fatalf("fresh vector has bit %d set", i)
+		}
+		v.SetBit(i, 1)
+		if v.Bit(i) != 1 {
+			t.Fatalf("SetBit(%d,1) not visible", i)
+		}
+		if v.Bipolar(i) != 1 {
+			t.Fatalf("Bipolar(%d) = %d after set, want +1", i, v.Bipolar(i))
+		}
+		v.SetBit(i, 0)
+		if v.Bit(i) != 0 || v.Bipolar(i) != -1 {
+			t.Fatalf("SetBit(%d,0) not visible", i)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := rng.New(1)
+	v := RandomBitVec(testD, r)
+	c := v.Clone()
+	if !v.Equal(c) {
+		t.Fatal("clone differs from original")
+	}
+	c.SetBit(0, 1-c.Bit(0))
+	if v.Equal(c) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestXorInvolution(t *testing.T) {
+	r := rng.New(2)
+	a := RandomBitVec(testD, r)
+	b := RandomBitVec(testD, r)
+	x := NewBitVec(testD)
+	XorInto(x, a, b)
+	y := NewBitVec(testD)
+	XorInto(y, x, b) // (a⊕b)⊕b = a
+	if !y.Equal(a) {
+		t.Fatal("XOR bind is not an involution")
+	}
+}
+
+func TestXorAliasingSafe(t *testing.T) {
+	r := rng.New(3)
+	a := RandomBitVec(testD, r)
+	b := RandomBitVec(testD, r)
+	want := NewBitVec(testD)
+	XorInto(want, a, b)
+	got := a.Clone()
+	XorInto(got, got, b)
+	if !got.Equal(want) {
+		t.Fatal("XorInto with dst aliasing a gave wrong result")
+	}
+}
+
+func TestXorAccumulate(t *testing.T) {
+	r := rng.New(4)
+	a := RandomBitVec(testD, r)
+	b := RandomBitVec(testD, r)
+	want := NewBitVec(testD)
+	XorInto(want, a, b)
+	got := a.Clone()
+	XorAccumulate(got, b)
+	if !got.Equal(want) {
+		t.Fatal("XorAccumulate != XorInto")
+	}
+}
+
+func TestRotatePreservesBitsExactPositions(t *testing.T) {
+	r := rng.New(5)
+	v := RandomBitVec(256, r)
+	for _, k := range []int{0, 1, 63, 64, 65, 127, 128, 200, 255, 256, 300, -1, -64} {
+		got := NewBitVec(256)
+		RotateInto(got, v, k)
+		for i := 0; i < 256; i++ {
+			j := ((i+k)%256 + 256) % 256
+			if got.Bit(j) != v.Bit(i) {
+				t.Fatalf("rotate %d: bit %d of src should land at %d", k, i, j)
+			}
+		}
+	}
+}
+
+func TestRotateComposition(t *testing.T) {
+	r := rng.New(6)
+	v := RandomBitVec(testD, r)
+	a := Rotate(Rotate(v, 37), 91)
+	b := Rotate(v, 37+91)
+	if !a.Equal(b) {
+		t.Fatal("ρ(91)∘ρ(37) != ρ(128)")
+	}
+}
+
+func TestRotateFullCycleIsIdentity(t *testing.T) {
+	r := rng.New(7)
+	v := RandomBitVec(testD, r)
+	if !Rotate(v, testD).Equal(v) {
+		t.Fatal("ρ(D) is not the identity")
+	}
+}
+
+func TestRotateInvertible(t *testing.T) {
+	f := func(seed uint64, kRaw int) bool {
+		k := ((kRaw % testD) + testD) % testD
+		v := RandomBitVec(testD, rng.New(seed))
+		return Rotate(Rotate(v, k), testD-k).Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotatePreservesOnesCount(t *testing.T) {
+	f := func(seed uint64, kRaw int) bool {
+		v := RandomBitVec(testD, rng.New(seed))
+		return Rotate(v, kRaw%4096).OnesCount() == v.OnesCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingBasics(t *testing.T) {
+	a := NewBitVec(128)
+	b := NewBitVec(128)
+	if Hamming(a, b) != 0 {
+		t.Fatal("hamming of identical vectors != 0")
+	}
+	b.SetBit(5, 1)
+	b.SetBit(100, 1)
+	if h := Hamming(a, b); h != 2 {
+		t.Fatalf("hamming = %d, want 2", h)
+	}
+	if d := Dot(a, b); d != 128-4 {
+		t.Fatalf("dot = %d, want %d", d, 124)
+	}
+}
+
+func TestDotSelfEqualsD(t *testing.T) {
+	r := rng.New(8)
+	v := RandomBitVec(testD, r)
+	if Dot(v, v) != testD {
+		t.Fatalf("dot(v,v) = %d, want %d", Dot(v, v), testD)
+	}
+}
+
+func TestRandomVectorsNearOrthogonal(t *testing.T) {
+	r := rng.New(9)
+	const d = 4096
+	for i := 0; i < 20; i++ {
+		a := RandomBitVec(d, r)
+		b := RandomBitVec(d, r)
+		dot := Dot(a, b)
+		// For random ±1 vectors, dot is ~N(0, D); |dot| > 6σ is a failure.
+		if dot > 6*64 || dot < -6*64 {
+			t.Fatalf("random pair dot = %d, |dot| too large for D=%d", dot, d)
+		}
+	}
+}
+
+func TestDotPopcountIdentity(t *testing.T) {
+	// dot = D − 2·hamming must agree with an explicit bipolar dot product.
+	f := func(s1, s2 uint64) bool {
+		a := RandomBitVec(256, rng.New(s1))
+		b := RandomBitVec(256, rng.New(s2))
+		explicit := 0
+		for i := 0; i < 256; i++ {
+			explicit += a.Bipolar(i) * b.Bipolar(i)
+		}
+		return Dot(a, b) == explicit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlipBitsRate(t *testing.T) {
+	r := rng.New(10)
+	v := NewBitVec(1 << 16)
+	n := v.FlipBits(0.1, r)
+	want := 6554
+	if n < want*8/10 || n > want*12/10 {
+		t.Fatalf("FlipBits(0.1) flipped %d of %d, want ~%d", n, 1<<16, want)
+	}
+	if v.OnesCount() != n {
+		t.Fatalf("flips from zero vector: ones=%d, flipped=%d", v.OnesCount(), n)
+	}
+	if v.FlipBits(0, r) != 0 {
+		t.Fatal("FlipBits(0) flipped bits")
+	}
+}
+
+func TestRotateRandomStaysOrthogonalToSelf(t *testing.T) {
+	// A random vector and its rotation should be near-orthogonal — the
+	// property that justifies seed-rotated id generation.
+	r := rng.New(11)
+	const d = 4096
+	v := RandomBitVec(d, r)
+	for _, k := range []int{1, 2, 17, 64, 1000, d / 2} {
+		dot := Dot(v, Rotate(v, k))
+		if dot > 6*64 || dot < -6*64 {
+			t.Errorf("dot(v, ρ(%d)v) = %d, expected near-orthogonal", k, dot)
+		}
+	}
+}
+
+func BenchmarkXor4096(b *testing.B) {
+	r := rng.New(1)
+	x := RandomBitVec(4096, r)
+	y := RandomBitVec(4096, r)
+	dst := NewBitVec(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XorInto(dst, x, y)
+	}
+}
+
+func BenchmarkRotate4096(b *testing.B) {
+	r := rng.New(1)
+	x := RandomBitVec(4096, r)
+	dst := NewBitVec(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RotateInto(dst, x, 37)
+	}
+}
+
+func BenchmarkDot4096(b *testing.B) {
+	r := rng.New(1)
+	x := RandomBitVec(4096, r)
+	y := RandomBitVec(4096, r)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = Dot(x, y)
+	}
+	_ = sink
+}

@@ -1,0 +1,157 @@
+package hdc
+
+import "fmt"
+
+// Vec is an integer hypervector: the result of bundling binary hypervectors
+// (an encoded query) or of accumulating encoded queries (a class or centroid
+// hypervector). GENERIC's class memories hold these at 16-bit precision; Vec
+// uses int32 in software and models the hardware bit-width via Saturate and
+// classifier-level masking.
+type Vec []int32
+
+// NewVec returns a zero vector of d dimensions.
+func NewVec(d int) Vec { return make(Vec, d) }
+
+// Clone returns a deep copy.
+func (v Vec) Clone() Vec {
+	c := make(Vec, len(v))
+	copy(c, v)
+	return c
+}
+
+// AddInto accumulates o into v element-wise.
+func (v Vec) AddInto(o Vec) {
+	mustSameLen(v, o)
+	for i, x := range o {
+		v[i] += x
+	}
+}
+
+// SubInto subtracts o from v element-wise.
+func (v Vec) SubInto(o Vec) {
+	mustSameLen(v, o)
+	for i, x := range o {
+		v[i] -= x
+	}
+}
+
+// Dot returns the dot product of v and o as int64.
+func (v Vec) Dot(o Vec) int64 {
+	mustSameLen(v, o)
+	var s int64
+	for i, x := range v {
+		s += int64(x) * int64(o[i])
+	}
+	return s
+}
+
+// DotPrefix returns the dot product of the first d dimensions only, used by
+// on-demand dimension reduction.
+func (v Vec) DotPrefix(o Vec, d int) int64 {
+	if d > len(v) || d > len(o) {
+		panic("hdc: DotPrefix length out of range")
+	}
+	var s int64
+	for i := 0; i < d; i++ {
+		s += int64(v[i]) * int64(o[i])
+	}
+	return s
+}
+
+// Norm2 returns the squared L2 norm as int64.
+func (v Vec) Norm2() int64 {
+	var s int64
+	for _, x := range v {
+		s += int64(x) * int64(x)
+	}
+	return s
+}
+
+// Norm2Prefix returns the squared L2 norm of the first d dimensions.
+func (v Vec) Norm2Prefix(d int) int64 {
+	if d > len(v) {
+		panic("hdc: Norm2Prefix length out of range")
+	}
+	var s int64
+	for i := 0; i < d; i++ {
+		s += int64(v[i]) * int64(v[i])
+	}
+	return s
+}
+
+// CosineScore returns the modified cosine similarity the paper uses for
+// ranking: sign(H·C) · (H·C)² / ‖C‖², which orders classes identically to
+// true cosine (the query norm is constant across classes and the square
+// root is monotone). norm2 must be the squared L2 norm of v.
+// A zero norm scores negative infinity ranking-wise, returned here as the
+// most negative finite value to keep arithmetic simple.
+func CosineScore(dot int64, norm2 int64) float64 {
+	if norm2 == 0 {
+		return -1e308
+	}
+	s := float64(dot) * float64(dot) / float64(norm2)
+	if dot < 0 {
+		return -s
+	}
+	return s
+}
+
+// Saturate clamps every element of v to the signed range of bw bits
+// ([−2^(bw−1), 2^(bw−1)−1]), modeling a fixed-width class memory.
+func (v Vec) Saturate(bw int) {
+	if bw <= 0 || bw > 31 {
+		panic(fmt.Sprintf("hdc: Saturate bit-width %d out of range", bw))
+	}
+	hi := int32(1)<<(uint(bw)-1) - 1
+	lo := -hi - 1
+	for i, x := range v {
+		if x > hi {
+			v[i] = hi
+		} else if x < lo {
+			v[i] = lo
+		}
+	}
+}
+
+// QuantizeTo rounds v to bw-bit precision by keeping the top bw bits of the
+// magnitude range maxAbs, mimicking loading a quantized model into GENERIC
+// (the mask unit masks out unused bits). Elements are scaled into
+// [−2^(bw−1), 2^(bw−1)−1] proportionally to maxAbs.
+func (v Vec) QuantizeTo(bw int, maxAbs int32) {
+	if bw <= 0 || bw > 16 {
+		panic(fmt.Sprintf("hdc: QuantizeTo bit-width %d out of range", bw))
+	}
+	if maxAbs <= 0 {
+		return
+	}
+	hi := int64(1)<<(uint(bw)-1) - 1
+	for i, x := range v {
+		q := (int64(x)*hi + int64(maxAbs)/2) / int64(maxAbs)
+		if q > hi {
+			q = hi
+		} else if q < -hi-1 {
+			q = -hi - 1
+		}
+		v[i] = int32(q)
+	}
+}
+
+// MaxAbs returns the largest absolute element value (0 for an empty vector).
+func (v Vec) MaxAbs() int32 {
+	var m int32
+	for _, x := range v {
+		if x < 0 {
+			x = -x
+		}
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func mustSameLen(a, b Vec) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("hdc: vector length mismatch %d vs %d", len(a), len(b)))
+	}
+}

@@ -1,0 +1,96 @@
+package hdproc
+
+import "fmt"
+
+// EncodeParams describes the GENERIC-encoding workload a program is built
+// for (mirrors encoding.Config's shape parameters).
+type EncodeParams struct {
+	Features int
+	N        int
+	UseID    bool
+	Classes  int
+}
+
+// Register conventions used by the generated programs.
+const (
+	sBin   = 0 // quantized bin
+	sDot   = 1 // dot product
+	sScore = 2 // approximate score
+	vLevel = 0 // freshly loaded/rotated level
+	vWin   = 1 // window accumulator
+	vID    = 2 // window id
+	aEnc   = 0 // encoding accumulator
+)
+
+// GenericEncodeProgram emits the instruction sequence that computes the
+// GENERIC encoding (Eq. 1) of the processor's current input into
+// accumulator a0: for every window, load+rotate+XOR the member levels,
+// optionally bind the window id, and bundle.
+func GenericEncodeProgram(p EncodeParams) (Program, error) {
+	if p.N < 1 || p.Features < p.N {
+		return nil, fmt.Errorf("hdproc: bad window %d for %d features", p.N, p.Features)
+	}
+	var prog Program
+	prog = append(prog, Instr{Op: OpCLRA, Rd: aEnc})
+	windows := p.Features - p.N + 1
+	for w := 0; w < windows; w++ {
+		for j := 0; j < p.N; j++ {
+			prog = append(prog,
+				Instr{Op: OpQNTZ, Rd: sBin, Imm: w + j},
+				Instr{Op: OpLDLV, Rd: vLevel, Ra: sBin},
+				Instr{Op: OpROTV, Rd: vLevel, Ra: vLevel, Imm: j},
+			)
+			if j == 0 {
+				// Move level into the window register (rotate by 0).
+				prog = append(prog, Instr{Op: OpROTV, Rd: vWin, Ra: vLevel, Imm: 0})
+			} else {
+				prog = append(prog, Instr{Op: OpXORV, Rd: vWin, Ra: vWin, Rb: vLevel})
+			}
+		}
+		if p.UseID {
+			prog = append(prog,
+				Instr{Op: OpLDID, Rd: vID, Imm: w},
+				Instr{Op: OpXORV, Rd: vWin, Ra: vWin, Rb: vID},
+			)
+		}
+		prog = append(prog, Instr{Op: OpACCV, Rd: aEnc, Ra: vWin})
+	}
+	return prog, nil
+}
+
+// InferProgram emits the similarity search over the loaded classes:
+// dot-product, approximate score, and argmax per class. Callers must
+// ClearMax() before running it.
+func InferProgram(classes int) Program {
+	var prog Program
+	for c := 0; c < classes; c++ {
+		prog = append(prog,
+			Instr{Op: OpDOTC, Rd: sDot, Ra: aEnc, Imm: c},
+			Instr{Op: OpSCOR, Rd: sScore, Ra: sDot, Imm: c},
+			Instr{Op: OpMAXS, Rd: 3, Ra: sScore, Imm: c},
+		)
+	}
+	return prog
+}
+
+// Infer runs the full encode+classify flow for one input and returns the
+// predicted class.
+func (p *Processor) Infer(x []float64, params EncodeParams) (int, error) {
+	enc, err := GenericEncodeProgram(params)
+	if err != nil {
+		return 0, err
+	}
+	p.SetInput(x)
+	p.ClearMax()
+	if err := p.Run(enc); err != nil {
+		return 0, err
+	}
+	if err := p.Run(InferProgram(len(p.classes))); err != nil {
+		return 0, err
+	}
+	return p.BestClass(), nil
+}
+
+// Encoding exposes accumulator a0 (the encoded hypervector) after an
+// encode program ran. The returned slice aliases processor state.
+func (p *Processor) Encoding() []int32 { return p.aregs[aEnc] }

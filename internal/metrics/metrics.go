@@ -1,0 +1,199 @@
+// Package metrics provides the evaluation metrics used in the paper:
+// classification accuracy, confusion matrices, and normalized mutual
+// information for external clustering validation (Table 2).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accuracy returns the fraction of predictions equal to labels.
+// It panics on length mismatch and returns 0 for empty input.
+func Accuracy(pred, labels []int) float64 {
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("metrics: %d predictions vs %d labels", len(pred), len(labels)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// Confusion returns the confusion matrix C where C[true][pred] counts
+// samples. Classes are sized by the largest index seen.
+func Confusion(pred, labels []int) [][]int {
+	if len(pred) != len(labels) {
+		panic("metrics: Confusion length mismatch")
+	}
+	n := 0
+	for i := range pred {
+		if pred[i]+1 > n {
+			n = pred[i] + 1
+		}
+		if labels[i]+1 > n {
+			n = labels[i] + 1
+		}
+	}
+	c := make([][]int, n)
+	for i := range c {
+		c[i] = make([]int, n)
+	}
+	for i := range pred {
+		c[labels[i]][pred[i]]++
+	}
+	return c
+}
+
+// NMI returns the normalized mutual information between two labelings,
+// using arithmetic-mean normalization: NMI = 2·I(A;B) / (H(A)+H(B)).
+// It is symmetric, invariant to label permutation, 1 for identical
+// partitions and 0 for independent ones. If both partitions are trivial
+// (single cluster), NMI is defined as 1 when they are identical partitions
+// and 0 otherwise by the degenerate-entropy convention used here.
+func NMI(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic("metrics: NMI length mismatch")
+	}
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	ca := countLabels(a)
+	cb := countLabels(b)
+	joint := make(map[[2]int]int)
+	for i := range a {
+		joint[[2]int{a[i], b[i]}]++
+	}
+	ha := entropy(ca, n)
+	hb := entropy(cb, n)
+	if ha == 0 && hb == 0 {
+		return 1 // both trivial partitions: identical by definition
+	}
+	if ha == 0 || hb == 0 {
+		return 0
+	}
+	var mi float64
+	fn := float64(n)
+	for k, nij := range joint {
+		pij := float64(nij) / fn
+		pa := float64(ca[k[0]]) / fn
+		pb := float64(cb[k[1]]) / fn
+		mi += pij * math.Log(pij/(pa*pb))
+	}
+	nmi := 2 * mi / (ha + hb)
+	// Guard tiny negative round-off.
+	if nmi < 0 && nmi > -1e-12 {
+		nmi = 0
+	}
+	return nmi
+}
+
+func countLabels(x []int) map[int]int {
+	c := make(map[int]int)
+	for _, v := range x {
+		c[v]++
+	}
+	return c
+}
+
+func entropy(counts map[int]int, n int) float64 {
+	var h float64
+	fn := float64(n)
+	for _, c := range counts {
+		p := float64(c) / fn
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// ClassReport holds per-class precision/recall/F1 plus macro averages —
+// the breakdown a deployment needs on imbalanced benchmarks like PAGE.
+type ClassReport struct {
+	Precision []float64
+	Recall    []float64
+	F1        []float64
+	MacroF1   float64
+}
+
+// PerClass computes the per-class report from predictions and labels.
+func PerClass(pred, labels []int) ClassReport {
+	conf := Confusion(pred, labels)
+	n := len(conf)
+	r := ClassReport{
+		Precision: make([]float64, n),
+		Recall:    make([]float64, n),
+		F1:        make([]float64, n),
+	}
+	for c := 0; c < n; c++ {
+		var tp, fp, fn int
+		for o := 0; o < n; o++ {
+			if o == c {
+				tp = conf[c][c]
+				continue
+			}
+			fp += conf[o][c]
+			fn += conf[c][o]
+		}
+		if tp+fp > 0 {
+			r.Precision[c] = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			r.Recall[c] = float64(tp) / float64(tp+fn)
+		}
+		if r.Precision[c]+r.Recall[c] > 0 {
+			r.F1[c] = 2 * r.Precision[c] * r.Recall[c] / (r.Precision[c] + r.Recall[c])
+		}
+	}
+	r.MacroF1 = Mean(r.F1)
+	return r
+}
+
+// GeoMean returns the geometric mean of positive values, the aggregation
+// the paper uses for cross-benchmark energy and latency comparisons.
+// Non-positive values are skipped; an empty input returns 0.
+func GeoMean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean and StdDev are the aggregations used in Table 1's summary rows.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 2, 3}, []int{1, 2, 4}); math.Abs(a-2.0/3) > 1e-12 {
+		t.Fatalf("Accuracy = %v, want 2/3", a)
+	}
+	if a := Accuracy(nil, nil); a != 0 {
+		t.Fatalf("empty accuracy = %v", a)
+	}
+}
+
+func TestAccuracyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+func TestConfusion(t *testing.T) {
+	c := Confusion([]int{0, 1, 1, 2}, []int{0, 1, 2, 2})
+	if c[0][0] != 1 || c[1][1] != 1 || c[2][1] != 1 || c[2][2] != 1 {
+		t.Fatalf("confusion wrong: %v", c)
+	}
+	total := 0
+	for _, row := range c {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != 4 {
+		t.Fatalf("confusion total = %d, want 4", total)
+	}
+}
+
+func TestNMIIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if nmi := NMI(a, a); math.Abs(nmi-1) > 1e-12 {
+		t.Fatalf("NMI(a,a) = %v, want 1", nmi)
+	}
+}
+
+func TestNMIPermutationInvariant(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	b := []int{5, 5, 9, 9, 7, 7} // same partition, different label names
+	if nmi := NMI(a, b); math.Abs(nmi-1) > 1e-12 {
+		t.Fatalf("NMI under relabeling = %v, want 1", nmi)
+	}
+}
+
+func TestNMIIndependent(t *testing.T) {
+	// A partition vs a perfectly crossed partition: I = 0.
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 1, 0, 1}
+	if nmi := NMI(a, b); math.Abs(nmi) > 1e-12 {
+		t.Fatalf("NMI of independent partitions = %v, want 0", nmi)
+	}
+}
+
+func TestNMISymmetricAndBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 20 + r.Intn(50)
+		a, b := make([]int, n), make([]int, n)
+		for i := range a {
+			a[i] = r.Intn(4)
+			b[i] = r.Intn(3)
+		}
+		x, y := NMI(a, b), NMI(b, a)
+		return math.Abs(x-y) < 1e-12 && x >= 0 && x <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNMITrivialPartitions(t *testing.T) {
+	if nmi := NMI([]int{0, 0, 0}, []int{1, 1, 1}); nmi != 1 {
+		t.Fatalf("NMI of two trivial partitions = %v, want 1", nmi)
+	}
+	if nmi := NMI([]int{0, 0, 0}, []int{0, 1, 2}); nmi != 0 {
+		t.Fatalf("NMI of trivial vs discrete = %v, want 0", nmi)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Fatalf("GeoMean(1,100) = %v, want 10", g)
+	}
+	if g := GeoMean([]float64{2, 0, -3, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("GeoMean skipping non-positive = %v, want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %v", g)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+	if s := StdDev([]float64{1}); s != 0 {
+		t.Fatalf("StdDev singleton = %v", s)
+	}
+}
+
+func TestPerClassPerfect(t *testing.T) {
+	pred := []int{0, 1, 2, 0, 1, 2}
+	r := PerClass(pred, pred)
+	for c := 0; c < 3; c++ {
+		if r.Precision[c] != 1 || r.Recall[c] != 1 || r.F1[c] != 1 {
+			t.Fatalf("class %d not perfect: %+v", c, r)
+		}
+	}
+	if r.MacroF1 != 1 {
+		t.Fatalf("macro F1 = %v", r.MacroF1)
+	}
+}
+
+func TestPerClassKnownValues(t *testing.T) {
+	// Class 0: predicted 3 times, 2 correct → precision 2/3.
+	// Class 0 truth appears 2 times, 2 found → recall 1.
+	labels := []int{0, 0, 1, 1, 1}
+	pred := []int{0, 0, 0, 1, 1}
+	r := PerClass(pred, labels)
+	if math.Abs(r.Precision[0]-2.0/3) > 1e-12 || r.Recall[0] != 1 {
+		t.Fatalf("class 0: P=%v R=%v", r.Precision[0], r.Recall[0])
+	}
+	if r.Precision[1] != 1 || math.Abs(r.Recall[1]-2.0/3) > 1e-12 {
+		t.Fatalf("class 1: P=%v R=%v", r.Precision[1], r.Recall[1])
+	}
+	wantF1 := 0.8 // both classes: 2·(2/3·1)/(2/3+1) = 0.8
+	if math.Abs(r.F1[0]-wantF1) > 1e-12 || math.Abs(r.F1[1]-wantF1) > 1e-12 {
+		t.Fatalf("F1 = %v/%v, want %v", r.F1[0], r.F1[1], wantF1)
+	}
+	if math.Abs(r.MacroF1-wantF1) > 1e-12 {
+		t.Fatalf("macro F1 = %v", r.MacroF1)
+	}
+}
+
+func TestPerClassAbsentClass(t *testing.T) {
+	// Class 2 never predicted and never true except once mispredicted:
+	// metrics must stay finite (zero), not NaN.
+	labels := []int{0, 1, 2}
+	pred := []int{0, 1, 0}
+	r := PerClass(pred, labels)
+	if r.Recall[2] != 0 || r.F1[2] != 0 {
+		t.Fatalf("absent class metrics: %+v", r)
+	}
+	if math.IsNaN(r.MacroF1) {
+		t.Fatal("macro F1 is NaN")
+	}
+}

@@ -1,0 +1,67 @@
+package modelio
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/edge-hdc/generic/internal/classifier"
+	"github.com/edge-hdc/generic/internal/encoding"
+	"github.com/edge-hdc/generic/internal/hdc"
+)
+
+// FuzzRead hardens the model-file parser against corrupt or adversarial
+// input: it must return an error or a valid bundle — never panic or
+// allocate absurdly.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid file and a few mutations.
+	b := fuzzBundle(f)
+	var buf bytes.Buffer
+	if err := Write(&buf, b); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:10])
+	f.Add([]byte("GHDC"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[6] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed successfully: the bundle must be internally consistent.
+		if got.Model == nil {
+			t.Fatal("nil model without error")
+		}
+		if got.Model.D() <= 0 || got.Model.Classes() < 2 {
+			t.Fatalf("implausible model accepted: D=%d classes=%d", got.Model.D(), got.Model.Classes())
+		}
+	})
+}
+
+// fuzzBundle builds a minimal deterministic bundle (no dataset dependency
+// keeps the fuzz target fast).
+func fuzzBundle(f *testing.F) *Bundle {
+	f.Helper()
+	m := classifier.NewModel(128, 2, 16)
+	h := make(hdc.Vec, 128)
+	for i := range h {
+		h[i] = int32(i%7 - 3)
+	}
+	m.AddEncoded(h, 0)
+	for i := range h {
+		h[i] = -h[i]
+	}
+	m.AddEncoded(h, 1)
+	return &Bundle{
+		Kind: encoding.Generic,
+		Cfg: encoding.Config{
+			D: 128, Features: 8, Bins: 16, Lo: 0, Hi: 1, N: 3, Seed: 1,
+		},
+		Model: m,
+	}
+}

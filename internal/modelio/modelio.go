@@ -1,0 +1,200 @@
+// Package modelio serializes trained GENERIC models and encoder
+// configurations to a compact binary format — the software counterpart of
+// the accelerator's config port, through which level hypervectors, id
+// seeds, and (for offline training) class hypervectors are loaded (§4.1).
+//
+// The format is versioned and self-describing:
+//
+//	magic "GHDC" | version u16 | header | payload
+//
+// All integers are little-endian. Class elements are stored at the model's
+// bit-width: 16-bit two's complement words (narrower widths still occupy
+// 16 bits; the density win of sub-16-bit packing is not worth the format
+// complexity at 4K×32 scale).
+package modelio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/edge-hdc/generic/internal/classifier"
+	"github.com/edge-hdc/generic/internal/encoding"
+	"github.com/edge-hdc/generic/internal/hdc"
+)
+
+const (
+	magic   = "GHDC"
+	version = 1
+)
+
+// Bundle couples a trained model with the encoder configuration that
+// produced its encodings — both are needed to reconstruct a working
+// pipeline.
+type Bundle struct {
+	Kind  encoding.Kind
+	Cfg   encoding.Config
+	Model *classifier.Model
+}
+
+// Write serializes the bundle.
+func Write(w io.Writer, b *Bundle) error {
+	if b == nil || b.Model == nil {
+		return fmt.Errorf("modelio: nil bundle or model")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	writeU16 := func(v uint16) error { return binary.Write(bw, le, v) }
+	writeU32 := func(v uint32) error { return binary.Write(bw, le, v) }
+	writeU64 := func(v uint64) error { return binary.Write(bw, le, v) }
+	writeF64 := func(v float64) error { return binary.Write(bw, le, math.Float64bits(v)) }
+
+	if err := writeU16(version); err != nil {
+		return err
+	}
+	// Encoder header.
+	if err := writeU16(uint16(b.Kind)); err != nil {
+		return err
+	}
+	cfg := b.Cfg.Default()
+	for _, v := range []uint32{
+		uint32(cfg.D), uint32(cfg.Features), uint32(cfg.Bins), uint32(cfg.N),
+	} {
+		if err := writeU32(v); err != nil {
+			return err
+		}
+	}
+	useID := uint16(0)
+	if cfg.UseID {
+		useID = 1
+	}
+	if err := writeU16(useID); err != nil {
+		return err
+	}
+	if err := writeU64(cfg.Seed); err != nil {
+		return err
+	}
+	if err := writeF64(cfg.Lo); err != nil {
+		return err
+	}
+	if err := writeF64(cfg.Hi); err != nil {
+		return err
+	}
+	// Model header + class payload.
+	m := b.Model
+	for _, v := range []uint32{uint32(m.D()), uint32(m.Classes()), uint32(m.BW())} {
+		if err := writeU32(v); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 2)
+	for c := 0; c < m.Classes(); c++ {
+		for _, x := range m.Class(c) {
+			if x > math.MaxInt16 || x < math.MinInt16 {
+				return fmt.Errorf("modelio: class %d element %d exceeds 16-bit range", c, x)
+			}
+			le.PutUint16(buf, uint16(int16(x)))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a bundle and rebuilds the encoder-ready configuration
+// and the model (with norms recomputed).
+func Read(r io.Reader) (*Bundle, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("modelio: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("modelio: bad magic %q", head)
+	}
+	le := binary.LittleEndian
+	readU16 := func() (uint16, error) {
+		var v uint16
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	ver, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("modelio: unsupported version %d", ver)
+	}
+	kind, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	var b Bundle
+	b.Kind = encoding.Kind(kind)
+	var d, features, bins, n uint32
+	for _, p := range []*uint32{&d, &features, &bins, &n} {
+		if *p, err = readU32(); err != nil {
+			return nil, err
+		}
+	}
+	useID, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	var seed uint64
+	if err := binary.Read(br, le, &seed); err != nil {
+		return nil, err
+	}
+	var loBits, hiBits uint64
+	if err := binary.Read(br, le, &loBits); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &hiBits); err != nil {
+		return nil, err
+	}
+	b.Cfg = encoding.Config{
+		D: int(d), Features: int(features), Bins: int(bins), N: int(n),
+		UseID: useID != 0, Seed: seed,
+		Lo: math.Float64frombits(loBits), Hi: math.Float64frombits(hiBits),
+	}
+	var mD, mClasses, mBW uint32
+	for _, p := range []*uint32{&mD, &mClasses, &mBW} {
+		if *p, err = readU32(); err != nil {
+			return nil, err
+		}
+	}
+	// Bound the header before allocating: a corrupt D or class count must
+	// not drive a giant allocation.
+	const maxD = 1 << 20
+	if mD == 0 || mD > maxD || mD%classifier.SubNormGranularity != 0 || mClasses < 2 || mClasses > 4096 {
+		return nil, fmt.Errorf("modelio: implausible model header D=%d classes=%d", mD, mClasses)
+	}
+	if mBW < 1 || mBW > 16 {
+		return nil, fmt.Errorf("modelio: bad bit-width %d", mBW)
+	}
+	m := classifier.NewModel(int(mD), int(mClasses), int(mBW))
+	buf := make([]byte, 2)
+	tmp := hdc.NewVec(int(mD))
+	for c := 0; c < int(mClasses); c++ {
+		for i := 0; i < int(mD); i++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("modelio: class payload truncated: %w", err)
+			}
+			tmp[i] = int32(int16(le.Uint16(buf)))
+		}
+		m.SetClass(c, tmp)
+	}
+	b.Model = m
+	return &b, nil
+}

@@ -1,0 +1,156 @@
+package modelio
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/edge-hdc/generic/internal/classifier"
+	"github.com/edge-hdc/generic/internal/dataset"
+	"github.com/edge-hdc/generic/internal/encoding"
+)
+
+func trainedBundle(t *testing.T) *Bundle {
+	t.Helper()
+	ds := dataset.MustLoad("EEG", 1)
+	cfg := encoding.Config{
+		D: 1024, Features: ds.Features, Bins: 64, Lo: ds.Lo, Hi: ds.Hi,
+		N: 3, UseID: ds.UseID, Seed: 7,
+	}
+	enc := encoding.MustNew(encoding.Generic, cfg)
+	trainH := encoding.EncodeAll(enc, ds.TrainX[:200])
+	m, _ := classifier.TrainEncoded(trainH, ds.TrainY[:200], ds.Classes, classifier.Options{Epochs: 3, Seed: 1})
+	return &Bundle{Kind: encoding.Generic, Cfg: cfg, Model: m}
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := trainedBundle(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != b.Kind {
+		t.Errorf("kind %v != %v", got.Kind, b.Kind)
+	}
+	if got.Cfg != b.Cfg.Default() {
+		t.Errorf("config mismatch: %+v vs %+v", got.Cfg, b.Cfg.Default())
+	}
+	if got.Model.D() != b.Model.D() || got.Model.Classes() != b.Model.Classes() ||
+		got.Model.BW() != b.Model.BW() {
+		t.Fatal("model header mismatch")
+	}
+	for c := 0; c < b.Model.Classes(); c++ {
+		want := b.Model.Class(c)
+		have := got.Model.Class(c)
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("class %d dim %d: %d != %d", c, i, have[i], want[i])
+			}
+		}
+		if got.Model.Norm2(c) != b.Model.Norm2(c) {
+			t.Fatalf("class %d norm mismatch", c)
+		}
+	}
+}
+
+func TestRoundTripPredictionsIdentical(t *testing.T) {
+	b := trainedBundle(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the encoder from the stored config: same seed → identical
+	// hypervector material → identical predictions.
+	enc := encoding.MustNew(got.Kind, got.Cfg)
+	ds := dataset.MustLoad("EEG", 1)
+	for i := 0; i < 50; i++ {
+		h := encoding.EncodeAll(enc, ds.TestX[i:i+1])[0]
+		p1, _ := b.Model.Predict(h)
+		p2, _ := got.Model.Predict(h)
+		if p1 != p2 {
+			t.Fatalf("prediction diverged after round trip at sample %d", i)
+		}
+	}
+}
+
+func TestWriteNil(t *testing.T) {
+	if err := Write(io.Discard, nil); err == nil {
+		t.Error("nil bundle accepted")
+	}
+	if err := Write(io.Discard, &Bundle{}); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestReadBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOPE....")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	b := trainedBundle(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, 5, 20, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadBadVersion(t *testing.T) {
+	b := trainedBundle(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version low byte
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestReadImplausibleHeader(t *testing.T) {
+	b := trainedBundle(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The model-D field sits after magic(4)+ver(2)+kind(2)+4×u32(16)+
+	// useID(2)+seed(8)+lo(8)+hi(8) = offset 50.
+	data[50], data[51], data[52], data[53] = 13, 0, 0, 0 // D=13: not ×128
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("implausible model dimensionality accepted")
+	}
+}
+
+func TestQuantizedModelRoundTrip(t *testing.T) {
+	b := trainedBundle(t)
+	b.Model.Quantize(4)
+	var buf bytes.Buffer
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model.BW() != 4 {
+		t.Errorf("bw after round trip = %d, want 4", got.Model.BW())
+	}
+}

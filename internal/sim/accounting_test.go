@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+)
+
+// These tests pin the cycle/traffic accounting formulas of the remaining
+// engine operations (training init, clustering, id generation), which the
+// energy model depends on.
+
+func TestTrainInitAccounting(t *testing.T) {
+	spec := Spec{D: 1024, Features: 16, N: 3, Classes: 4, BW: 16, UseID: true}
+	acc := MustNew(spec, 1)
+	X := [][]float64{make([]float64, 16), make([]float64, 16)}
+	Y := []int{0, 1}
+	acc.TrainInit(X, Y)
+	st := acc.Stats()
+	passes := int64(1024 / M)
+	d := int64(16)
+	// Per input: load (d) + encode passes (d+fill each) + bundle (2·passes);
+	// plus one norm pass (nC·passes) at the end.
+	wantCycles := 2*(d+passes*(d+PipelineFill)+2*passes) + 4*passes
+	if st.Cycles != wantCycles {
+		t.Errorf("TrainInit cycles = %d, want %d", st.Cycles, wantCycles)
+	}
+	// Class traffic: write D and read D per input (read-modify-write),
+	// plus nC·D reads for the norm pass.
+	if want := int64(2*1024 + 4*1024); st.ClassMemReads != want {
+		t.Errorf("class reads = %d, want %d", st.ClassMemReads, want)
+	}
+	if want := int64(2 * 1024); st.ClassMemWrites != want {
+		t.Errorf("class writes = %d, want %d", st.ClassMemWrites, want)
+	}
+	if st.Encodings != 2 {
+		t.Errorf("encodings = %d, want 2", st.Encodings)
+	}
+}
+
+func TestIDGenerationCounting(t *testing.T) {
+	spec := Spec{D: 1024, Features: 16, N: 3, Classes: 2, BW: 16, UseID: true}
+	acc := MustNew(spec, 1)
+	acc.Infer(make([]float64, 16))
+	withID := acc.Stats().IDGenerations
+	if withID == 0 {
+		t.Fatal("id generations not counted with UseID")
+	}
+	spec.UseID = false
+	acc2 := MustNew(spec, 1)
+	acc2.Infer(make([]float64, 16))
+	if acc2.Stats().IDGenerations != 0 {
+		t.Fatal("id generations counted without UseID")
+	}
+}
+
+func TestClusterAccountingGrowsWithEpochs(t *testing.T) {
+	spec := Spec{D: 1024, Features: 3, N: 3, Classes: 2, BW: 16, UseID: true, Mode: Cluster}
+	X := make([][]float64, 10)
+	for i := range X {
+		X[i] = []float64{float64(i % 2), float64(i % 3), float64(i % 5)}
+	}
+	acc1 := MustNew(spec, 1)
+	acc1.ClusterFit(X, 2)
+	acc2 := MustNew(spec, 1)
+	acc2.ClusterFit(X, 6)
+	s1, s2 := acc1.Stats(), acc2.Stats()
+	if s2.Cycles <= s1.Cycles || s2.Updates <= s1.Updates {
+		t.Errorf("clustering work must grow with epochs: %d/%d cycles, %d/%d updates",
+			s1.Cycles, s2.Cycles, s1.Updates, s2.Updates)
+	}
+	// Every epoch bundles every input once into a copy centroid.
+	if want := int64(len(X) * 2); s1.Updates != want {
+		t.Errorf("updates = %d, want %d", s1.Updates, want)
+	}
+}
+
+func TestLatencyScalesWithD(t *testing.T) {
+	// The paper's on-demand dimension trade-off: halving D halves the
+	// encode-dominated inference latency.
+	mk := func(d int) int64 {
+		spec := Spec{D: d, Features: 64, N: 3, Classes: 4, BW: 16, UseID: true}
+		acc := MustNew(spec, 1)
+		acc.Infer(make([]float64, 64))
+		return acc.Stats().Cycles
+	}
+	c4, c2, c1 := mk(4096), mk(2048), mk(1024)
+	if ratio := float64(c4) / float64(c2); ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("4K/2K cycle ratio = %.2f, want ≈2", ratio)
+	}
+	if ratio := float64(c2) / float64(c1); ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("2K/1K cycle ratio = %.2f, want ≈2", ratio)
+	}
+}
+
+func TestEncodeOverlapsDotDrain(t *testing.T) {
+	// With nC ≤ d the dot-product drain hides behind the encoder; with
+	// nC > d it becomes the bottleneck (per-pass max(d, nC)).
+	small := Spec{D: 1024, Features: 32, N: 3, Classes: 4, BW: 16}
+	big := Spec{D: 1024, Features: 4, N: 3, Classes: 32, BW: 16}
+	a1 := MustNew(small, 1)
+	a1.Infer(make([]float64, 32))
+	a2 := MustNew(big, 1)
+	a2.Infer(make([]float64, 4))
+	passes := int64(1024 / M)
+	// big: per-pass cost must be nC-bound (32), not d-bound (4).
+	wantBig := int64(4) + passes*(32+PipelineFill) + 2*32
+	if a2.Stats().Cycles != wantBig {
+		t.Errorf("nC-bound cycles = %d, want %d", a2.Stats().Cycles, wantBig)
+	}
+	// small: per-pass cost must be d-bound (32), with the 4-class drain
+	// fully hidden.
+	wantSmall := int64(32) + passes*(32+PipelineFill) + 2*4
+	if a1.Stats().Cycles != wantSmall {
+		t.Errorf("d-bound cycles = %d, want %d", a1.Stats().Cycles, wantSmall)
+	}
+}

@@ -1,0 +1,229 @@
+// Package trace records the GENERIC accelerator's activity as a timeline
+// of named phases (input load, encoder passes, similarity search, class
+// updates, norm recomputation) and renders it as a summary table, an ASCII
+// occupancy strip, or a VCD waveform — the view a hardware engineer would
+// pull from a simulation run to check pipeline utilization.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Event is one contiguous activity window of a named phase, in cycles.
+type Event struct {
+	Name  string
+	Start int64
+	Dur   int64
+}
+
+// Timeline collects events; it implements the sim package's Tracer hook.
+// The zero value is ready to use.
+type Timeline struct {
+	Events []Event
+	// Cap bounds the recorded event count (0 = unlimited); once reached,
+	// further events only accumulate into the per-phase totals so long
+	// simulations stay bounded.
+	Cap      int
+	totals   map[string]int64
+	counts   map[string]int64
+	lastEnd  int64
+	overflow bool
+}
+
+// Event records an activity window (the sim.Tracer interface).
+func (t *Timeline) Event(name string, start, dur int64) {
+	if t.totals == nil {
+		t.totals = make(map[string]int64)
+		t.counts = make(map[string]int64)
+	}
+	t.totals[name] += dur
+	t.counts[name]++
+	if end := start + dur; end > t.lastEnd {
+		t.lastEnd = end
+	}
+	if t.Cap > 0 && len(t.Events) >= t.Cap {
+		t.overflow = true
+		return
+	}
+	t.Events = append(t.Events, Event{Name: name, Start: start, Dur: dur})
+}
+
+// Reset clears the timeline for reuse.
+func (t *Timeline) Reset() {
+	t.Events = t.Events[:0]
+	t.totals = nil
+	t.counts = nil
+	t.lastEnd = 0
+	t.overflow = false
+}
+
+// TotalCycles returns the end of the last recorded window.
+func (t *Timeline) TotalCycles() int64 { return t.lastEnd }
+
+// Phases returns the recorded phase names, busiest first.
+func (t *Timeline) Phases() []string {
+	names := make([]string, 0, len(t.totals))
+	for n := range t.totals {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if t.totals[names[i]] != t.totals[names[j]] {
+			return t.totals[names[i]] > t.totals[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Busy returns the total cycles attributed to a phase.
+func (t *Timeline) Busy(name string) int64 { return t.totals[name] }
+
+// String renders the per-phase utilization summary.
+func (t *Timeline) String() string {
+	var b strings.Builder
+	total := t.TotalCycles()
+	fmt.Fprintf(&b, "activity over %d cycles", total)
+	if t.overflow {
+		fmt.Fprintf(&b, " (event list capped at %d; totals complete)", t.Cap)
+	}
+	b.WriteByte('\n')
+	for _, name := range t.Phases() {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(t.totals[name]) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-8s %10d cycles  %5.1f%%  (%d windows)\n",
+			name, t.totals[name], pct, t.counts[name])
+	}
+	return b.String()
+}
+
+// RenderASCII draws a width-column occupancy strip: each column is the
+// phase that owned the most cycles in that slice of the run ('.' = idle).
+func (t *Timeline) RenderASCII(width int) string {
+	if width < 1 || t.lastEnd == 0 {
+		return ""
+	}
+	phases := t.Phases()
+	glyph := map[string]byte{}
+	legend := make([]string, 0, len(phases))
+	for i, name := range phases {
+		g := byte('A' + i%26)
+		if len(name) > 0 {
+			g = name[0] | 0x20 // lower-case first letter when unique
+		}
+		if _, taken := glyphTaken(glyph, g); taken {
+			g = byte('A' + i%26)
+		}
+		glyph[name] = g
+		legend = append(legend, fmt.Sprintf("%c=%s", g, name))
+	}
+	owner := make(map[int]map[string]int64)
+	perCol := float64(t.lastEnd) / float64(width)
+	for _, e := range t.Events {
+		for c := int(float64(e.Start) / perCol); c <= int(float64(e.Start+e.Dur-1)/perCol) && c < width; c++ {
+			if owner[c] == nil {
+				owner[c] = map[string]int64{}
+			}
+			owner[c][e.Name] += e.Dur
+		}
+	}
+	row := make([]byte, width)
+	for c := 0; c < width; c++ {
+		row[c] = '.'
+		var best string
+		var bestCy int64 = -1
+		for name, cy := range owner[c] {
+			if cy > bestCy {
+				best, bestCy = name, cy
+			}
+		}
+		if bestCy >= 0 {
+			row[c] = glyph[best]
+		}
+	}
+	return string(row) + "\n" + strings.Join(legend, " ") + "\n"
+}
+
+func glyphTaken(m map[string]byte, g byte) (string, bool) {
+	for name, have := range m {
+		if have == g {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// WriteVCD emits the timeline as a Value Change Dump: one 1-bit signal per
+// phase, high while the phase is active. Timescale is 2 ns (one 500 MHz
+// cycle). Viewable in GTKWave or any VCD viewer.
+func (t *Timeline) WriteVCD(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "$timescale 2ns $end")
+	fmt.Fprintln(bw, "$scope module generic $end")
+	phases := t.Phases()
+	ids := map[string]string{}
+	for i, name := range phases {
+		id := vcdID(i)
+		ids[name] = id
+		fmt.Fprintf(bw, "$var wire 1 %s %s $end\n", id, sanitize(name))
+	}
+	fmt.Fprintln(bw, "$upscope $end")
+	fmt.Fprintln(bw, "$enddefinitions $end")
+
+	// Build change list: phase rises at Start, falls at Start+Dur.
+	type change struct {
+		at   int64
+		id   string
+		bit  byte
+		prio int // falls before rises at the same instant
+	}
+	var changes []change
+	for _, e := range t.Events {
+		changes = append(changes,
+			change{e.Start, ids[e.Name], '1', 1},
+			change{e.Start + e.Dur, ids[e.Name], '0', 0},
+		)
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].at != changes[j].at {
+			return changes[i].at < changes[j].at
+		}
+		return changes[i].prio < changes[j].prio
+	})
+	fmt.Fprintln(bw, "#0")
+	for _, name := range phases {
+		fmt.Fprintf(bw, "0%s\n", ids[name])
+	}
+	last := int64(0)
+	for _, c := range changes {
+		if c.at != last {
+			fmt.Fprintf(bw, "#%d\n", c.at)
+			last = c.at
+		}
+		fmt.Fprintf(bw, "%c%s\n", c.bit, c.id)
+	}
+	return bw.Flush()
+}
+
+// vcdID maps an index to a compact VCD identifier.
+func vcdID(i int) string {
+	const alphabet = "!\"#$%&'()*+,-./:;<=>?@"
+	if i < len(alphabet) {
+		return string(alphabet[i])
+	}
+	return fmt.Sprintf("z%d", i)
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' {
+			return '_'
+		}
+		return r
+	}, name)
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/edge-hdc/generic/internal/sim"
+)
+
+func TestTimelineTotals(t *testing.T) {
+	var tl Timeline
+	tl.Event("encode", 0, 100)
+	tl.Event("search", 100, 20)
+	tl.Event("encode", 120, 100)
+	if tl.TotalCycles() != 220 {
+		t.Fatalf("total = %d, want 220", tl.TotalCycles())
+	}
+	if tl.Busy("encode") != 200 || tl.Busy("search") != 20 {
+		t.Fatalf("busy totals wrong: %d/%d", tl.Busy("encode"), tl.Busy("search"))
+	}
+	phases := tl.Phases()
+	if len(phases) != 2 || phases[0] != "encode" {
+		t.Fatalf("phases = %v, want encode first", phases)
+	}
+	out := tl.String()
+	if !strings.Contains(out, "encode") || !strings.Contains(out, "90.9%") {
+		t.Errorf("summary missing utilization: %q", out)
+	}
+}
+
+func TestTimelineCap(t *testing.T) {
+	tl := Timeline{Cap: 2}
+	for i := int64(0); i < 10; i++ {
+		tl.Event("x", i*10, 10)
+	}
+	if len(tl.Events) != 2 {
+		t.Fatalf("cap ignored: %d events", len(tl.Events))
+	}
+	if tl.Busy("x") != 100 {
+		t.Fatalf("totals must stay complete past the cap: %d", tl.Busy("x"))
+	}
+	if !strings.Contains(tl.String(), "capped") {
+		t.Error("summary should note the cap")
+	}
+}
+
+func TestTimelineReset(t *testing.T) {
+	var tl Timeline
+	tl.Event("a", 0, 5)
+	tl.Reset()
+	if tl.TotalCycles() != 0 || len(tl.Events) != 0 || tl.Busy("a") != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	tl.Event("b", 0, 5)
+	if tl.Busy("b") != 5 {
+		t.Fatal("timeline unusable after Reset")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	var tl Timeline
+	tl.Event("encode", 0, 80)
+	tl.Event("search", 80, 20)
+	strip := tl.RenderASCII(10)
+	if !strings.Contains(strip, "e") || !strings.Contains(strip, "=encode") {
+		t.Errorf("strip missing encode: %q", strip)
+	}
+	if tl.RenderASCII(0) != "" {
+		t.Error("zero width should render empty")
+	}
+	if (&Timeline{}).RenderASCII(10) != "" {
+		t.Error("empty timeline should render empty")
+	}
+}
+
+func TestWriteVCD(t *testing.T) {
+	var tl Timeline
+	tl.Event("encode", 0, 10)
+	tl.Event("search", 10, 4)
+	var buf bytes.Buffer
+	if err := tl.WriteVCD(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 2ns $end", "$var wire 1", "encode", "search",
+		"$enddefinitions $end", "#0", "#10", "#14",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// Every rise must have a matching fall.
+	if strings.Count(out, "1!") != strings.Count(out, "0!")-1 {
+		// one extra '0' from the #0 initialization
+		t.Errorf("unbalanced rises/falls for first signal:\n%s", out)
+	}
+}
+
+func TestTimelineWithAccelerator(t *testing.T) {
+	spec := sim.Spec{D: 1024, Features: 32, N: 3, Classes: 4, BW: 16, UseID: true}
+	acc := sim.MustNew(spec, 1)
+	var tl Timeline
+	acc.SetTracer(&tl)
+	x := make([]float64, 32)
+	acc.Infer(x)
+	// The timeline must cover the accelerator's cycle count exactly.
+	if tl.TotalCycles() != acc.Stats().Cycles {
+		t.Fatalf("timeline end %d != accelerator cycles %d", tl.TotalCycles(), acc.Stats().Cycles)
+	}
+	for _, phase := range []string{"load", "encode", "search"} {
+		if tl.Busy(phase) == 0 {
+			t.Errorf("phase %q not recorded", phase)
+		}
+	}
+	// An inference is encode-dominated.
+	if tl.Busy("encode") < tl.Busy("search") {
+		t.Error("encode should dominate an inference")
+	}
+	// Training adds bundle/update/norm phases.
+	tl.Reset()
+	acc.TrainInit([][]float64{x}, []int{0})
+	if tl.Busy("bundle") == 0 || tl.Busy("norm") == 0 {
+		t.Errorf("training phases missing: %s", tl.String())
+	}
+}

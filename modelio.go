@@ -1,0 +1,64 @@
+package generic
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/edge-hdc/generic/internal/encoding"
+	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/modelio"
+)
+
+// Save serializes a trained pipeline (encoder configuration + model) to w
+// in the library's versioned binary format — the software counterpart of
+// the accelerator's config port. The encoder configuration includes the
+// hypervector seed, so LoadPipeline reconstructs a pipeline whose
+// predictions are bit-identical.
+func (p *Pipeline) Save(w io.Writer) error {
+	p.mustBeTrained()
+	return modelio.Write(w, &modelio.Bundle{Kind: p.enc.Kind(), Cfg: p.enc.Config(), Model: p.model})
+}
+
+// SaveFile is Save to a file path.
+func (p *Pipeline) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPipeline reconstructs a trained pipeline from a stream written by
+// Save.
+func LoadPipeline(r io.Reader) (*Pipeline, error) {
+	b, err := modelio.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := encoding.New(b.Kind, b.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("generic: rebuilding encoder: %w", err)
+	}
+	if enc.D() != b.Model.D() {
+		return nil, fmt.Errorf("generic: encoder D=%d does not match model D=%d", enc.D(), b.Model.D())
+	}
+	p := NewPipeline(enc, b.Model.Classes())
+	p.model = b.Model
+	p.scratch = hdc.NewVec(enc.D())
+	return p, nil
+}
+
+// LoadPipelineFile is LoadPipeline from a file path.
+func LoadPipelineFile(path string) (*Pipeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadPipeline(f)
+}
