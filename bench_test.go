@@ -115,6 +115,85 @@ func BenchmarkAcceleratorInfer(b *testing.B) {
 	}
 }
 
+// Serial-versus-parallel benches for the batch-first paths. Each pair runs
+// the identical workload with Workers: 1 and Workers: 0 (= GOMAXPROCS), so
+// `go test -bench 'Serial|Parallel' -cpu 1,4` shows how the chunked worker
+// pool scales. Results are bit-identical either way; only wall-clock moves.
+
+func benchBatchSetup(b *testing.B) (generic.Encoder, [][]float64, []int) {
+	b.Helper()
+	ds, err := generic.LoadDataset("EEG", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := generic.EncoderForDataset(generic.Generic, ds, 2048, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 400
+	if ds.TrainLen() < n {
+		n = ds.TrainLen()
+	}
+	return enc, ds.TrainX[:n], ds.TrainY[:n]
+}
+
+func benchEncodeBatch(b *testing.B, workers int) {
+	enc, X, _ := benchBatchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		generic.EncodeWorkers(enc, X, workers)
+	}
+}
+
+func BenchmarkEncodeBatchSerial(b *testing.B)   { benchEncodeBatch(b, 1) }
+func BenchmarkEncodeBatchParallel(b *testing.B) { benchEncodeBatch(b, 0) }
+
+func benchFit(b *testing.B, workers int) {
+	enc, X, Y := benchBatchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := generic.NewPipeline(enc, 6)
+		p.Fit(X, Y, generic.TrainOptions{Epochs: 3, Seed: 1, Workers: workers})
+	}
+}
+
+func BenchmarkFitSerial(b *testing.B)   { benchFit(b, 1) }
+func BenchmarkFitParallel(b *testing.B) { benchFit(b, 0) }
+
+func benchEvaluate(b *testing.B, workers int) {
+	enc, X, Y := benchBatchSetup(b)
+	p := generic.NewPipeline(enc, 6)
+	p.Fit(X, Y, generic.TrainOptions{Epochs: 2, Seed: 1, Workers: workers})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.AccuracyWorkers(X, Y, workers)
+	}
+}
+
+func BenchmarkEvaluateSerial(b *testing.B)   { benchEvaluate(b, 1) }
+func BenchmarkEvaluateParallel(b *testing.B) { benchEvaluate(b, 0) }
+
+func benchCluster(b *testing.B, workers int) {
+	cs, err := generic.LoadClusterSet("Hepta", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := generic.NewEncoder(generic.Generic, generic.EncoderConfig{
+		D: 1024, Features: cs.Features, Bins: 32, Lo: cs.Lo, Hi: cs.Hi,
+		N: cs.Features, UseID: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		generic.ClusterWorkers(enc, cs.X, cs.K, 5, workers)
+	}
+}
+
+func BenchmarkClusterSerial(b *testing.B)   { benchCluster(b, 1) }
+func BenchmarkClusterParallel(b *testing.B) { benchCluster(b, 0) }
+
 func BenchmarkHDCClusterHepta(b *testing.B) {
 	cs, err := generic.LoadClusterSet("Hepta", 1)
 	if err != nil {

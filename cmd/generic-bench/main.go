@@ -21,10 +21,11 @@ import (
 
 func main() {
 	var (
-		exps  = flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(generic.Experiments(), ",")+") or 'all'")
-		quick = flag.Bool("quick", false, "reduced-fidelity configuration (seconds instead of minutes)")
-		seed  = flag.Uint64("seed", 1, "master random seed")
-		d     = flag.Int("d", 0, "hypervector dimensionality override (accuracy experiments)")
+		exps    = flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(generic.Experiments(), ",")+") or 'all'")
+		quick   = flag.Bool("quick", false, "reduced-fidelity configuration (seconds instead of minutes)")
+		seed    = flag.Uint64("seed", 1, "master random seed")
+		d       = flag.Int("d", 0, "hypervector dimensionality override (accuracy experiments)")
+		workers = flag.Int("workers", 0, "worker count for the harness sweeps (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 	if *d != 0 {
 		cfg.D = *d
 	}
+	cfg.Workers = *workers
 
 	ids := generic.Experiments()
 	if *exps != "all" {

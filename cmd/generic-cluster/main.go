@@ -19,11 +19,12 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("dataset", "Hepta", "benchmark ("+strings.Join(generic.ClusterSets(), ",")+")")
-		d      = flag.Int("d", 4096, "hypervector dimensionality")
-		epochs = flag.Int("epochs", 10, "clustering epochs")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		k      = flag.Int("k", 0, "cluster count (0 = ground truth)")
+		name    = flag.String("dataset", "Hepta", "benchmark ("+strings.Join(generic.ClusterSets(), ",")+")")
+		d       = flag.Int("d", 4096, "hypervector dimensionality")
+		epochs  = flag.Int("epochs", 10, "clustering epochs")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		k       = flag.Int("k", 0, "cluster count (0 = ground truth)")
+		workers = flag.Int("workers", 0, "worker count for encoding and assignment scans (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -50,7 +51,7 @@ func main() {
 	}
 
 	fmt.Printf("dataset %s: %d points, %d features, k=%d\n", cs.Name, len(cs.X), cs.Features, kk)
-	hdcRes := generic.Cluster(enc, cs.X, kk, *epochs)
+	hdcRes := generic.ClusterWorkers(enc, cs.X, kk, *epochs, *workers)
 	kmRes := generic.KMeans(cs.X, kk, 100, 10, *seed)
 	fmt.Printf("HDC clustering NMI:     %.3f (%d epochs)\n",
 		generic.NMI(hdcRes.Assignments, cs.Labels), *epochs)

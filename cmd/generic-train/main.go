@@ -26,16 +26,17 @@ var kinds = map[string]generic.EncodingKind{
 
 func main() {
 	var (
-		name   = flag.String("dataset", "EEG", "benchmark ("+strings.Join(generic.Datasets(), ",")+")")
-		kind   = flag.String("encoding", "generic", "encoding (rp,level-id,ngram,permute,generic)")
-		d      = flag.Int("d", 4096, "hypervector dimensionality")
-		epochs = flag.Int("epochs", 20, "retraining epochs")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		bw     = flag.Int("bw", 0, "quantize the trained model to this bit-width (0 = keep 16)")
-		dims   = flag.Int("dims", 0, "also evaluate with dimension reduction to this many dims")
-		save   = flag.String("save", "", "write the trained pipeline to this file")
-		load   = flag.String("load", "", "skip training; load a pipeline from this file and evaluate")
-		csvIn  = flag.String("csv", "", "train on a labelled CSV file instead of a named benchmark")
+		name    = flag.String("dataset", "EEG", "benchmark ("+strings.Join(generic.Datasets(), ",")+")")
+		kind    = flag.String("encoding", "generic", "encoding (rp,level-id,ngram,permute,generic)")
+		d       = flag.Int("d", 4096, "hypervector dimensionality")
+		epochs  = flag.Int("epochs", 20, "retraining epochs")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		bw      = flag.Int("bw", 0, "quantize the trained model to this bit-width (0 = keep 16)")
+		dims    = flag.Int("dims", 0, "also evaluate with dimension reduction to this many dims")
+		save    = flag.String("save", "", "write the trained pipeline to this file")
+		load    = flag.String("load", "", "skip training; load a pipeline from this file and evaluate")
+		csvIn   = flag.String("csv", "", "train on a labelled CSV file instead of a named benchmark")
+		workers = flag.Int("workers", 0, "worker count for batch encode/train/evaluate (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -52,7 +53,7 @@ func main() {
 		}
 		fmt.Printf("loaded pipeline from %s (D=%d, %d classes, %d-bit)\n",
 			*load, p.Model().D(), p.Model().Classes(), p.Model().BW())
-		fmt.Printf("test accuracy: %.2f%%\n", 100*p.Accuracy(ds.TestX, ds.TestY))
+		fmt.Printf("test accuracy: %.2f%%\n", 100*p.AccuracyWorkers(ds.TestX, ds.TestY, *workers))
 		return
 	}
 
@@ -82,15 +83,15 @@ func main() {
 		ds.Name, ds.TrainLen(), ds.TestLen(), ds.Features, ds.Classes, ds.Kind)
 	p := generic.NewPipeline(enc, ds.Classes)
 	start := time.Now()
-	left := p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: *epochs, Seed: *seed})
+	left := p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: *epochs, Seed: *seed, Workers: *workers})
 	fmt.Printf("trained %s/%s D=%d in %.1fs (final-epoch updates: %d)\n",
 		*kind, ds.Name, *d, time.Since(start).Seconds(), left)
-	fmt.Printf("train accuracy: %.2f%%\n", 100*p.Accuracy(ds.TrainX, ds.TrainY))
-	fmt.Printf("test accuracy:  %.2f%%\n", 100*p.Accuracy(ds.TestX, ds.TestY))
+	fmt.Printf("train accuracy: %.2f%%\n", 100*p.AccuracyWorkers(ds.TrainX, ds.TrainY, *workers))
+	fmt.Printf("test accuracy:  %.2f%%\n", 100*p.AccuracyWorkers(ds.TestX, ds.TestY, *workers))
 
 	if *bw > 0 {
 		p.Quantize(*bw)
-		fmt.Printf("test accuracy @ %d-bit model: %.2f%%\n", *bw, 100*p.Accuracy(ds.TestX, ds.TestY))
+		fmt.Printf("test accuracy @ %d-bit model: %.2f%%\n", *bw, 100*p.AccuracyWorkers(ds.TestX, ds.TestY, *workers))
 	}
 	if *dims > 0 {
 		correct := 0

@@ -33,6 +33,7 @@ package generic
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/edge-hdc/generic/internal/classifier"
 	"github.com/edge-hdc/generic/internal/cluster"
@@ -73,9 +74,16 @@ func NewEncoder(kind EncodingKind, cfg EncoderConfig) (Encoder, error) {
 	return encoding.New(kind, cfg)
 }
 
-// Encode is a convenience that encodes a batch of inputs.
+// Encode is a convenience that encodes a batch of inputs serially.
 func Encode(e Encoder, X [][]float64) []Hypervector {
 	return encoding.EncodeAll(e, X)
+}
+
+// EncodeWorkers encodes a batch across workers parallel encoders cloned
+// from e's configuration (workers ≤ 0 means GOMAXPROCS, 1 is serial).
+// Outputs are bit-identical to Encode.
+func EncodeWorkers(e Encoder, X [][]float64, workers int) []Hypervector {
+	return encoding.EncodeAllWorkers(e, X, workers)
 }
 
 // EncoderPool encodes batches concurrently (one encoder per worker, same
@@ -107,16 +115,41 @@ func Train(encoded []Hypervector, labels []int, classes int, opt TrainOptions) *
 
 // Pipeline couples an encoder with a model, providing the end-to-end API a
 // downstream application uses.
+//
+// Concurrency: a trained pipeline is safe for concurrent Predict,
+// PredictReduced, and the batch scoring methods — each goroutine draws a
+// private encoder clone plus scratch hypervector from an internal pool
+// (encoders carry scratch state, so sharing one across goroutines would
+// corrupt encodings). Methods that mutate state — Fit, Adapt, Quantize —
+// require exclusive access.
 type Pipeline struct {
 	enc     Encoder
 	model   *Model
 	classes int
+	// states pools per-goroutine (encoder clone, scratch) pairs so Predict
+	// is safe and allocation-free under concurrency. Clones are built from
+	// enc's configuration and carry identical hypervector material, so
+	// every state produces bit-identical encodings.
+	states sync.Pool
+}
+
+// pipeState is the per-goroutine working set of a Pipeline: an encoder
+// clone (encoders are not concurrency-safe) and a scratch hypervector.
+type pipeState struct {
+	enc     Encoder
 	scratch Hypervector
 }
 
 // NewPipeline creates an untrained pipeline for the given class count.
 func NewPipeline(enc Encoder, classes int) *Pipeline {
-	return &Pipeline{enc: enc, classes: classes, scratch: hdc.NewVec(enc.D())}
+	p := &Pipeline{enc: enc, classes: classes}
+	p.states.New = func() any {
+		return &pipeState{enc: encoding.MustNew(enc.Kind(), enc.Config()), scratch: hdc.NewVec(enc.D())}
+	}
+	// Seed the pool with the primary encoder so single-goroutine use never
+	// builds a clone.
+	p.states.Put(&pipeState{enc: enc, scratch: hdc.NewVec(enc.D())})
+	return p
 }
 
 // Encoder returns the pipeline's encoder; Model its trained model (nil
@@ -125,53 +158,96 @@ func (p *Pipeline) Encoder() Encoder { return p.enc }
 func (p *Pipeline) Model() *Model    { return p.model }
 
 // Fit encodes the training set and trains the model (initialization plus
-// retraining, Fig. 1). It returns the number of mispredictions in the final
-// retraining epoch (0 means converged).
+// retraining, Fig. 1). The encoding and initialization phases fan out
+// across opt.Workers workers (0 means GOMAXPROCS, 1 forces serial); the
+// trained model is bit-identical for every worker count. It returns the
+// number of mispredictions in the final retraining epoch (0 means
+// converged).
 func (p *Pipeline) Fit(X [][]float64, Y []int, opt TrainOptions) int {
-	encoded := encoding.EncodeAll(p.enc, X)
+	encoded := encoding.EncodeAllWorkers(p.enc, X, opt.Workers)
 	m, last := classifier.TrainEncoded(encoded, Y, p.classes, opt)
 	p.model = m
 	return last
 }
 
-// Predict classifies one input.
+// Predict classifies one input. Safe for concurrent use on a trained
+// pipeline.
 func (p *Pipeline) Predict(x []float64) int {
 	p.mustBeTrained()
-	p.enc.Encode(x, p.scratch)
-	c, _ := p.model.Predict(p.scratch)
+	st := p.states.Get().(*pipeState)
+	st.enc.Encode(x, st.scratch)
+	c, _ := p.model.Predict(st.scratch)
+	p.states.Put(st)
 	return c
+}
+
+// PredictBatch classifies a batch of inputs across workers workers (≤ 0
+// means GOMAXPROCS, 1 is serial), returning predictions in input order —
+// bit-identical to calling Predict per input.
+func (p *Pipeline) PredictBatch(X [][]float64, workers int) []int {
+	p.mustBeTrained()
+	encoded := encoding.EncodeAllWorkers(p.enc, X, workers)
+	return p.model.PredictBatch(encoded, workers)
 }
 
 // PredictReduced classifies using only the first dims dimensions with the
 // updated sub-norms — the accelerator's on-demand dimension reduction.
+// Safe for concurrent use on a trained pipeline.
 func (p *Pipeline) PredictReduced(x []float64, dims int) int {
 	p.mustBeTrained()
-	p.enc.Encode(x, p.scratch)
-	c, _ := p.model.PredictDims(p.scratch, dims, true)
+	st := p.states.Get().(*pipeState)
+	st.enc.Encode(x, st.scratch)
+	c, _ := p.model.PredictDims(st.scratch, dims, true)
+	p.states.Put(st)
 	return c
 }
 
 // Adapt performs one online-learning step: classify x and, when the
 // prediction disagrees with label, apply the retraining update. It returns
 // the pre-update prediction and whether the model changed — the streaming
-// lifelong-learning path of the paper's IoT-gateway scenario.
+// lifelong-learning path of the paper's IoT-gateway scenario. Adapt mutates
+// the model and therefore requires exclusive access.
 func (p *Pipeline) Adapt(x []float64, label int) (pred int, updated bool) {
 	p.mustBeTrained()
-	p.enc.Encode(x, p.scratch)
-	return p.model.Adapt(p.scratch, label)
+	st := p.states.Get().(*pipeState)
+	st.enc.Encode(x, st.scratch)
+	pred, updated = p.model.Adapt(st.scratch, label)
+	p.states.Put(st)
+	return pred, updated
 }
 
 // Accuracy scores the pipeline on a labelled set.
 func (p *Pipeline) Accuracy(X [][]float64, Y []int) float64 {
+	return p.AccuracyWorkers(X, Y, 1)
+}
+
+// accuracyBlock bounds how many samples AccuracyWorkers encodes at once, so
+// scoring a large set streams through a constant memory footprint instead
+// of materializing every hypervector.
+const accuracyBlock = 2048
+
+// AccuracyWorkers scores the pipeline on a labelled set with encoding and
+// scoring fanned across workers workers (≤ 0 means GOMAXPROCS). Samples
+// stream through in bounded blocks; the result is bit-identical to
+// Accuracy.
+func (p *Pipeline) AccuracyWorkers(X [][]float64, Y []int, workers int) float64 {
 	p.mustBeTrained()
-	correct := 0
-	for i, x := range X {
-		if p.Predict(x) == Y[i] {
-			correct++
-		}
-	}
 	if len(X) == 0 {
 		return 0
+	}
+	correct := 0
+	for lo := 0; lo < len(X); lo += accuracyBlock {
+		hi := lo + accuracyBlock
+		if hi > len(X) {
+			hi = len(X)
+		}
+		encoded := encoding.EncodeAllWorkers(p.enc, X[lo:hi], workers)
+		preds := p.model.PredictBatch(encoded, workers)
+		for i, pred := range preds {
+			if pred == Y[lo+i] {
+				correct++
+			}
+		}
 	}
 	return float64(correct) / float64(len(X))
 }
@@ -192,10 +268,19 @@ func (p *Pipeline) mustBeTrained() {
 type ClusterResult = cluster.HDCResult
 
 // Cluster runs k-centroid HDC clustering over raw inputs using the given
-// encoder (§2.1/§4.2.3).
+// encoder (§2.1/§4.2.3), serially.
 func Cluster(enc Encoder, X [][]float64, k, epochs int) *ClusterResult {
-	encoded := encoding.EncodeAll(enc, X)
-	return cluster.HDC(encoded, k, epochs)
+	return ClusterWorkers(enc, X, k, epochs, 1)
+}
+
+// ClusterWorkers is Cluster with encoding and the per-epoch assignment
+// scans fanned across workers workers (≤ 0 means GOMAXPROCS, 1 is serial).
+// Assignments and centroids are bit-identical to Cluster: within an epoch
+// the centroid model is frozen, so workers score independently and their
+// partial centroid bundles merge in worker order.
+func ClusterWorkers(enc Encoder, X [][]float64, k, epochs, workers int) *ClusterResult {
+	encoded := encoding.EncodeAllWorkers(enc, X, workers)
+	return cluster.HDCWorkers(encoded, k, epochs, workers)
 }
 
 // KMeans exposes the classical baseline clusterer (Lloyd's algorithm with

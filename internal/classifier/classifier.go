@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/parallel"
 	"github.com/edge-hdc/generic/internal/rng"
 )
 
@@ -31,6 +32,12 @@ type Options struct {
 	// width during accumulation, like the accelerator's 16-bit memories.
 	// Zero means 16.
 	BW int
+	// Workers bounds the parallelism of the batch phases of training (the
+	// initialization bundling and norm refresh). Zero or negative means
+	// GOMAXPROCS; 1 forces the serial path. Retraining stays sequential
+	// regardless — its per-sample update order is part of the algorithm —
+	// so results are bit-identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -103,22 +110,20 @@ func (m *Model) SetClass(c int, v hdc.Vec) {
 }
 
 // AddEncoded bundles an encoded hypervector into class c (training
-// initialization, Fig. 1a) and refreshes that class's norms.
+// initialization, Fig. 1a) and refreshes that class's norms, in one fused
+// pass over the class vector.
 func (m *Model) AddEncoded(h hdc.Vec, c int) {
-	m.classes[c].AddInto(h)
-	m.classes[c].Saturate(m.bw)
-	m.refreshNorms(c)
+	m.norm2[c] = m.classes[c].AddSatNorms(h, m.bw, SubNormGranularity, m.subNorm2[c])
 }
 
 // Update applies the retraining rule for a query encoded as h that was
-// predicted as class wrong but belongs to class correct (Fig. 1c).
+// predicted as class wrong but belongs to class correct (Fig. 1c). Each
+// class is updated by one fused accumulate-saturate-renorm sweep instead of
+// the historical Sub/Add + Saturate + norm-recompute sequence (six full
+// class-vector passes); results are bit-identical.
 func (m *Model) Update(h hdc.Vec, correct, wrong int) {
-	m.classes[wrong].SubInto(h)
-	m.classes[wrong].Saturate(m.bw)
-	m.classes[correct].AddInto(h)
-	m.classes[correct].Saturate(m.bw)
-	m.refreshNorms(wrong)
-	m.refreshNorms(correct)
+	m.norm2[wrong] = m.classes[wrong].SubSatNorms(h, m.bw, SubNormGranularity, m.subNorm2[wrong])
+	m.norm2[correct] = m.classes[correct].AddSatNorms(h, m.bw, SubNormGranularity, m.subNorm2[correct])
 }
 
 // refreshNorms recomputes norm2 and the sub-norm ladder for class c.
@@ -316,19 +321,48 @@ func (m *Model) Clone() *Model {
 // bundling followed by opt.Epochs retraining passes. Labels must lie in
 // [0, nC). The number of misprediction updates in the final epoch is
 // returned alongside the model (zero means the model converged).
+//
+// The initialization bundling runs across opt.Workers workers (per-worker
+// partial class sums merged in worker order — integer accumulation is
+// order-independent, so the model is bit-identical to a serial build);
+// retraining is sequential by construction.
 func TrainEncoded(encoded []hdc.Vec, labels []int, nC int, opt Options) (*Model, int) {
 	opt = opt.withDefaults()
 	if len(encoded) == 0 || len(encoded) != len(labels) {
 		panic("classifier: encoded/labels size mismatch or empty")
 	}
 	m := NewModel(len(encoded[0]), nC, opt.BW)
-	for i, h := range encoded {
-		m.classes[labels[i]].AddInto(h)
+	workers := parallel.Workers(opt.Workers)
+	if workers > 1 && len(encoded) >= 2*workers {
+		d := m.d
+		partials := make([][]hdc.Vec, workers)
+		parallel.ForChunks(workers, len(encoded), func(w, lo, hi int) {
+			sums := make([]hdc.Vec, nC)
+			for i := lo; i < hi; i++ {
+				c := labels[i]
+				if sums[c] == nil {
+					sums[c] = hdc.NewVec(d)
+				}
+				sums[c].AddInto(encoded[i])
+			}
+			partials[w] = sums
+		})
+		for _, sums := range partials {
+			for c, s := range sums {
+				if s != nil {
+					m.classes[c].AddInto(s)
+				}
+			}
+		}
+	} else {
+		for i, h := range encoded {
+			m.classes[labels[i]].AddInto(h)
+		}
 	}
-	for c := range m.classes {
+	parallel.For(workers, nC, func(_, c int) {
 		m.classes[c].Saturate(m.bw)
-	}
-	m.RefreshAllNorms()
+		m.refreshNorms(c)
+	})
 
 	r := rng.New(opt.Seed)
 	order := make([]int, len(encoded))
@@ -354,31 +388,61 @@ func TrainEncoded(encoded []hdc.Vec, labels []int, nC int, opt Options) (*Model,
 	return m, lastUpdates
 }
 
+// PredictBatch classifies every encoded query across workers workers
+// (<= 0 means GOMAXPROCS, 1 is serial) and returns the predictions in input
+// order. Scoring only reads the model, so any worker count yields identical
+// results; the model must not be mutated concurrently.
+func (m *Model) PredictBatch(encoded []hdc.Vec, workers int) []int {
+	return m.PredictDimsBatch(encoded, m.d, true, workers)
+}
+
+// PredictDimsBatch is PredictBatch under dimension reduction (see
+// PredictDims).
+func (m *Model) PredictDimsBatch(encoded []hdc.Vec, dims int, updatedNorms bool, workers int) []int {
+	out := make([]int, len(encoded))
+	parallel.For(workers, len(encoded), func(_, i int) {
+		out[i], _ = m.PredictDims(encoded[i], dims, updatedNorms)
+	})
+	return out
+}
+
 // Evaluate returns the fraction of encoded queries whose prediction matches
 // labels.
 func Evaluate(m *Model, encoded []hdc.Vec, labels []int) float64 {
-	if len(encoded) == 0 {
-		return 0
-	}
-	correct := 0
-	for i, h := range encoded {
-		if pred, _ := m.Predict(h); pred == labels[i] {
-			correct++
-		}
-	}
-	return float64(correct) / float64(len(encoded))
+	return EvaluateBatch(m, encoded, labels, 1)
+}
+
+// EvaluateBatch is Evaluate with the scoring fanned across workers workers
+// (<= 0 means GOMAXPROCS). The accuracy is bit-identical to serial: each
+// worker counts its own contiguous chunk and the counts are summed.
+func EvaluateBatch(m *Model, encoded []hdc.Vec, labels []int, workers int) float64 {
+	return EvaluateDimsBatch(m, encoded, labels, m.d, true, workers)
 }
 
 // EvaluateDims is Evaluate under dimension reduction (see PredictDims).
 func EvaluateDims(m *Model, encoded []hdc.Vec, labels []int, dims int, updatedNorms bool) float64 {
+	return EvaluateDimsBatch(m, encoded, labels, dims, updatedNorms, 1)
+}
+
+// EvaluateDimsBatch is EvaluateDims across workers workers.
+func EvaluateDimsBatch(m *Model, encoded []hdc.Vec, labels []int, dims int, updatedNorms bool, workers int) float64 {
 	if len(encoded) == 0 {
 		return 0
 	}
-	correct := 0
-	for i, h := range encoded {
-		if pred, _ := m.PredictDims(h, dims, updatedNorms); pred == labels[i] {
-			correct++
+	w := parallel.Workers(workers)
+	counts := make([]int, w)
+	parallel.ForChunks(w, len(encoded), func(worker, lo, hi int) {
+		correct := 0
+		for i := lo; i < hi; i++ {
+			if pred, _ := m.PredictDims(encoded[i], dims, updatedNorms); pred == labels[i] {
+				correct++
+			}
 		}
+		counts[worker] = correct
+	})
+	correct := 0
+	for _, c := range counts {
+		correct += c
 	}
 	return float64(correct) / float64(len(encoded))
 }

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/parallel"
 	"github.com/edge-hdc/generic/internal/rng"
 )
 
@@ -23,18 +24,45 @@ type HDCResult struct {
 	Epochs int
 }
 
+// nearestCentroid returns the index of the centroid most similar to h under
+// the modified cosine metric; norm2[c] must be ‖centroids[c]‖². Both the
+// per-epoch scan and the final assignment pass rank with this helper.
+func nearestCentroid(h hdc.Vec, centroids []hdc.Vec, norm2 []int64) int {
+	best, bestScore := 0, -math.MaxFloat64
+	for c := range centroids {
+		s := hdc.CosineScore(h.Dot(centroids[c]), norm2[c])
+		if s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
 // HDC clusters pre-encoded hypervectors into k groups the way the GENERIC
 // accelerator does: the first k encodings seed the centroids; each epoch
 // assigns every input to its most-similar centroid (modified cosine) while
 // bundling it into a *copy* centroid, and the copies replace the model at
-// the end of the epoch (the in-flight model stays frozen, §2.1).
+// the end of the epoch (the in-flight model stays frozen, §2.1). It runs
+// serially; HDCWorkers is the parallel batch form.
 func HDC(encoded []hdc.Vec, k, epochs int) *HDCResult {
+	return HDCWorkers(encoded, k, epochs, 1)
+}
+
+// HDCWorkers is HDC with the per-epoch assignment scan and the final
+// assignment pass fanned across workers workers (<= 0 means GOMAXPROCS,
+// 1 is the serial path). Parallelism is safe because the in-flight model is
+// frozen within an epoch (§2.1): workers score against the same read-only
+// centroids, bundle into per-worker copy centroids, and the partials merge
+// in worker order — integer accumulation commutes, so assignments and
+// centroids are bit-identical to the serial run.
+func HDCWorkers(encoded []hdc.Vec, k, epochs, workers int) *HDCResult {
 	if k < 1 || len(encoded) < k {
 		panic(fmt.Sprintf("cluster: need at least k=%d inputs, got %d", k, len(encoded)))
 	}
 	if epochs < 1 {
 		epochs = 1
 	}
+	workers = parallel.Workers(workers)
 	d := len(encoded[0])
 	centroids := make([]hdc.Vec, k)
 	for c := range centroids {
@@ -48,24 +76,37 @@ func HDC(encoded []hdc.Vec, k, epochs int) *HDCResult {
 	}
 	refresh()
 
+	type epochPartial struct {
+		copies []hdc.Vec
+		counts []int
+	}
 	assign := make([]int, len(encoded))
 	for e := 0; e < epochs; e++ {
-		copies := make([]hdc.Vec, k)
-		counts := make([]int, k)
-		for c := range copies {
-			copies[c] = hdc.NewVec(d)
-		}
-		for i, h := range encoded {
-			best, bestScore := 0, -math.MaxFloat64
-			for c := range centroids {
-				s := hdc.CosineScore(h.Dot(centroids[c]), norm2[c])
-				if s > bestScore {
-					best, bestScore = c, s
-				}
+		partials := make([]epochPartial, workers)
+		parallel.ForChunks(workers, len(encoded), func(w, lo, hi int) {
+			copies := make([]hdc.Vec, k)
+			counts := make([]int, k)
+			for c := range copies {
+				copies[c] = hdc.NewVec(d)
 			}
-			assign[i] = best
-			copies[best].AddInto(h)
-			counts[best]++
+			for i := lo; i < hi; i++ {
+				best := nearestCentroid(encoded[i], centroids, norm2)
+				assign[i] = best
+				copies[best].AddInto(encoded[i])
+				counts[best]++
+			}
+			partials[w] = epochPartial{copies: copies, counts: counts}
+		})
+		// Merge worker partials in worker order.
+		copies, counts := partials[0].copies, partials[0].counts
+		for _, p := range partials[1:] {
+			if p.copies == nil { // unused worker (fewer chunks than workers)
+				continue
+			}
+			for c := range copies {
+				copies[c].AddInto(p.copies[c])
+				counts[c] += p.counts[c]
+			}
 		}
 		for c := range centroids {
 			if counts[c] > 0 {
@@ -75,16 +116,9 @@ func HDC(encoded []hdc.Vec, k, epochs int) *HDCResult {
 		refresh()
 	}
 	// Final assignment pass against the final model.
-	for i, h := range encoded {
-		best, bestScore := 0, -math.MaxFloat64
-		for c := range centroids {
-			s := hdc.CosineScore(h.Dot(centroids[c]), norm2[c])
-			if s > bestScore {
-				best, bestScore = c, s
-			}
-		}
-		assign[i] = best
-	}
+	parallel.For(workers, len(encoded), func(_, i int) {
+		assign[i] = nearestCentroid(encoded[i], centroids, norm2)
+	})
 	return &HDCResult{Assignments: assign, Centroids: centroids, Epochs: epochs}
 }
 

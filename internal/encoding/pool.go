@@ -1,10 +1,8 @@
 package encoding
 
 import (
-	"runtime"
-	"sync"
-
 	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/parallel"
 )
 
 // Pool is a set of functionally identical encoders for concurrent batch
@@ -18,9 +16,7 @@ type Pool struct {
 
 // NewPool builds a pool of workers encoders (≤ 0 means GOMAXPROCS).
 func NewPool(kind Kind, cfg Config, workers int) (*Pool, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = parallel.Workers(workers)
 	p := &Pool{}
 	for i := 0; i < workers; i++ {
 		e, err := New(kind, cfg)
@@ -32,39 +28,52 @@ func NewPool(kind Kind, cfg Config, workers int) (*Pool, error) {
 	return p, nil
 }
 
+// NewPoolFrom builds a pool of workers encoders cloned from e's kind and
+// configuration. The Config contract guarantees clones carry identical
+// hypervector material, so pool outputs are bit-identical to encoding with
+// e itself.
+func NewPoolFrom(e Encoder, workers int) (*Pool, error) {
+	return NewPool(e.Kind(), e.Config(), workers)
+}
+
 // Workers reports the pool size; D the encoders' dimensionality.
 func (p *Pool) Workers() int { return len(p.encs) }
 func (p *Pool) D() int       { return p.encs[0].D() }
 
-// EncodeAll encodes every row of X concurrently and returns the
-// hypervectors in input order. Results are identical to sequential
-// EncodeAll with any of the pool's encoders.
+// EncodeAll encodes every row of X concurrently — contiguous chunks of the
+// batch, one per pool encoder — and returns the hypervectors in input
+// order. Results are identical to sequential EncodeAll with any of the
+// pool's encoders.
 func (p *Pool) EncodeAll(X [][]float64) []hdc.Vec {
 	out := make([]hdc.Vec, len(X))
-	if len(X) == 0 {
-		return out
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for _, enc := range p.encs {
-		wg.Add(1)
-		go func(enc Encoder) {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(X) {
-					return
-				}
-				v := hdc.NewVec(enc.D())
-				enc.Encode(X[i], v)
-				out[i] = v
-			}
-		}(enc)
-	}
-	wg.Wait()
+	parallel.For(len(p.encs), len(X), func(worker, i int) {
+		enc := p.encs[worker]
+		v := hdc.NewVec(enc.D())
+		enc.Encode(X[i], v)
+		out[i] = v
+	})
 	return out
+}
+
+// EncodeAllWorkers encodes X with workers parallel encoders cloned from e
+// (workers ≤ 0 means GOMAXPROCS). It is the batch-first form of EncodeAll:
+// serial encoding with e when a single worker suffices (or the batch is too
+// small to amortize cloning the encoder material), a transient Pool
+// otherwise. Outputs are bit-identical either way.
+func EncodeAllWorkers(e Encoder, X [][]float64, workers int) []hdc.Vec {
+	w := parallel.Workers(workers)
+	if w > len(X) {
+		w = len(X)
+	}
+	if w <= 1 || len(X) < 2*w {
+		return EncodeAll(e, X)
+	}
+	p, err := NewPoolFrom(e, w)
+	if err != nil {
+		// The configuration built e, so cloning cannot fail for library
+		// encoders; a foreign Encoder whose Config does not round-trip
+		// falls back to the serial path.
+		return EncodeAll(e, X)
+	}
+	return p.EncodeAll(X)
 }

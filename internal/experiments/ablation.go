@@ -38,12 +38,12 @@ func ablationEval(ds *dataset.Dataset, cfg Config, n, bins int, useID bool) (flo
 	if err != nil {
 		return 0, err
 	}
-	trainH := encoding.EncodeAll(enc, ds.TrainX)
-	testH := encoding.EncodeAll(enc, ds.TestX)
+	trainH := encoding.EncodeAllWorkers(enc, ds.TrainX, cfg.Workers)
+	testH := encoding.EncodeAllWorkers(enc, ds.TestX, cfg.Workers)
 	m, _ := classifier.TrainEncoded(trainH, ds.TrainY, ds.Classes, classifier.Options{
-		Epochs: cfg.Epochs, Seed: cfg.Seed,
+		Epochs: cfg.Epochs, Seed: cfg.Seed, Workers: cfg.Workers,
 	})
-	return classifier.Evaluate(m, testH, ds.TestY), nil
+	return classifier.EvaluateBatch(m, testH, ds.TestY, cfg.Workers), nil
 }
 
 // AblationWindowResult sweeps the window length n.
@@ -64,18 +64,26 @@ func AblationWindow(cfg Config) (*AblationWindowResult, error) {
 		Datasets: AblationDatasets,
 		Acc:      map[string][]float64{},
 	}
-	for _, name := range res.Datasets {
-		ds, err := dataset.Load(name, cfg.Seed)
+	accs := make([][]float64, len(res.Datasets))
+	err := cfg.fanOut(len(res.Datasets), func(i int) error {
+		ds, err := dataset.Load(res.Datasets[i], cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, n := range res.Ns {
 			acc, err := ablationEval(ds, cfg, n, 64, ds.UseID)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res.Acc[name] = append(res.Acc[name], acc)
+			accs[i] = append(accs[i], acc)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range res.Datasets {
+		res.Acc[name] = accs[i]
 	}
 	for i := range res.Ns {
 		var col []float64
@@ -130,22 +138,26 @@ type AblationIDResult struct {
 // AblationID forces ids on and off regardless of the per-dataset policy.
 func AblationID(cfg Config) (*AblationIDResult, error) {
 	cfg = cfg.normalized()
-	res := &AblationIDResult{Datasets: AblationDatasets}
-	for _, name := range res.Datasets {
-		ds, err := dataset.Load(name, cfg.Seed)
+	res := &AblationIDResult{
+		Datasets:  AblationDatasets,
+		WithID:    make([]float64, len(AblationDatasets)),
+		WithoutID: make([]float64, len(AblationDatasets)),
+	}
+	err := cfg.fanOut(len(res.Datasets), func(i int) error {
+		ds, err := dataset.Load(res.Datasets[i], cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		on, err := ablationEval(ds, cfg, 3, 64, true)
-		if err != nil {
-			return nil, err
+		if res.WithID[i], err = ablationEval(ds, cfg, 3, 64, true); err != nil {
+			return err
 		}
-		off, err := ablationEval(ds, cfg, 3, 64, false)
-		if err != nil {
-			return nil, err
+		if res.WithoutID[i], err = ablationEval(ds, cfg, 3, 64, false); err != nil {
+			return err
 		}
-		res.WithID = append(res.WithID, on)
-		res.WithoutID = append(res.WithoutID, off)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -185,18 +197,26 @@ func AblationBins(cfg Config) (*AblationBinsResult, error) {
 		Datasets: AblationDatasets,
 		Acc:      map[string][]float64{},
 	}
-	for _, name := range res.Datasets {
-		ds, err := dataset.Load(name, cfg.Seed)
+	accs := make([][]float64, len(res.Datasets))
+	err := cfg.fanOut(len(res.Datasets), func(i int) error {
+		ds, err := dataset.Load(res.Datasets[i], cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, bins := range res.Bins {
 			acc, err := ablationEval(ds, cfg, 3, bins, ds.UseID)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res.Acc[name] = append(res.Acc[name], acc)
+			accs[i] = append(accs[i], acc)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range res.Datasets {
+		res.Acc[name] = accs[i]
 	}
 	for i := range res.Bins {
 		var col []float64

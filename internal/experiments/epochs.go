@@ -31,23 +31,31 @@ func EpochSaturation(cfg Config) (*EpochCurve, error) {
 		Datasets: EpochCurveDatasets,
 		Acc:      map[string][]float64{},
 	}
-	for _, name := range res.Datasets {
-		ds, err := dataset.Load(name, cfg.Seed)
+	accs := make([][]float64, len(res.Datasets))
+	err := cfg.fanOut(len(res.Datasets), func(i int) error {
+		ds, err := dataset.Load(res.Datasets[i], cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		enc, err := encoderFor(encoding.Generic, ds, cfg.D, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		trainH := encoding.EncodeAll(enc, ds.TrainX)
-		testH := encoding.EncodeAll(enc, ds.TestX)
+		trainH := encoding.EncodeAllWorkers(enc, ds.TrainX, cfg.Workers)
+		testH := encoding.EncodeAllWorkers(enc, ds.TestX, cfg.Workers)
 		for _, e := range res.Epochs {
 			m, _ := classifier.TrainEncoded(trainH, ds.TrainY, ds.Classes, classifier.Options{
-				Epochs: e, Seed: cfg.Seed,
+				Epochs: e, Seed: cfg.Seed, Workers: cfg.Workers,
 			})
-			res.Acc[name] = append(res.Acc[name], classifier.Evaluate(m, testH, ds.TestY))
+			accs[i] = append(accs[i], classifier.EvaluateBatch(m, testH, ds.TestY, cfg.Workers))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range res.Datasets {
+		res.Acc[name] = accs[i]
 	}
 	return res, nil
 }

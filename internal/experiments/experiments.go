@@ -15,6 +15,7 @@ import (
 
 	"github.com/edge-hdc/generic/internal/dataset"
 	"github.com/edge-hdc/generic/internal/encoding"
+	"github.com/edge-hdc/generic/internal/parallel"
 )
 
 // Config controls the fidelity/runtime trade-off of the harness.
@@ -29,6 +30,20 @@ type Config struct {
 	// suite runs in seconds (used by tests and Go benchmarks); the shapes
 	// of every result are preserved, only variances grow.
 	Quick bool
+	// Workers fans the per-dataset/per-config sweeps of each harness (and
+	// the batch evaluate inside them) across this many workers. Zero or
+	// negative means GOMAXPROCS; 1 forces the serial path. Every sweep
+	// iteration is independently seeded from Config, so results are
+	// bit-identical for any worker count.
+	Workers int
+}
+
+// fanOut runs fn(i) for every i in [0, n) across cfg.Workers workers,
+// returning the error of the lowest failing index (what the serial loop
+// would have reported). Harnesses write row i of a pre-sized slice inside
+// fn, keeping output order — and therefore rendered tables — deterministic.
+func (c Config) fanOut(n int, fn func(i int) error) error {
+	return parallel.ForErr(c.Workers, n, fn)
 }
 
 // Default returns the paper-fidelity configuration.

@@ -35,11 +35,13 @@ type Fig10Result struct {
 // the device models for every clustering benchmark.
 func Figure10(cfg Config) (*Fig10Result, error) {
 	cfg = cfg.normalized()
-	res := &Fig10Result{}
-	for _, name := range dataset.ClusterNames() {
+	names := dataset.ClusterNames()
+	rows := make([]Fig10Row, len(names))
+	err := cfg.fanOut(len(names), func(idx int) error {
+		name := names[idx]
 		cs, err := dataset.LoadCluster(name, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		n := 3
 		if cs.Features < n {
@@ -51,7 +53,7 @@ func Figure10(cfg Config) (*Fig10Result, error) {
 		}
 		acc, err := sim.NewWithRange(spec, cfg.Seed, cs.Lo, cs.Hi)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		assign := acc.ClusterFit(cs.X, ClusterEpochs)
 		rep := power.Energy(acc.Stats(), power.Config{ActiveBankFrac: spec.ActiveBankFrac()})
@@ -72,7 +74,7 @@ func Figure10(cfg Config) (*Fig10Result, error) {
 		rpiS, rpiJ := device.RaspberryPi.RunLoop(ops, kmPresentations)
 		perInput := float64(len(cs.X))
 
-		res.Rows = append(res.Rows, Fig10Row{
+		rows[idx] = Fig10Row{
 			Dataset:    name,
 			GenericJ:   rep.TotalJ / presentations,
 			GenericS:   rep.Seconds / presentations,
@@ -82,9 +84,13 @@ func Figure10(cfg Config) (*Fig10Result, error) {
 			KMeansRPiS: rpiS / perInput,
 			GenericNMI: metrics.NMI(assign, cs.Labels),
 			KMeansNMI:  metrics.NMI(km.Assignments, cs.Labels),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig10Result{Rows: rows}, nil
 }
 
 // MeanSpeedup returns GENERIC's geometric-mean latency advantage over the

@@ -96,19 +96,30 @@ const PaperD = 4096
 // eleven classification benchmarks — the layout of the paper's Figure 3.
 // The paper omits classical ML on the eGPU (it performed worse than the
 // CPU); this harness does the same.
+// fig3Entry is one dataset's contribution to a (device, algorithm) cell.
+type fig3Entry struct {
+	key            string
+	ie, it, te, tt float64
+}
+
 func Figure3(cfg Config) (*Fig3Result, error) {
 	cfg = cfg.normalized()
-	sums := map[string]*fig3Agg{}
 	key := func(dev, alg string) string { return dev + "|" + alg }
 
-	for _, name := range dataset.Names() {
-		ds, err := dataset.Load(name, cfg.Seed)
+	// Each dataset's measurements are independent; fan them across workers
+	// and merge per-dataset entry lists in dataset order, so every cell's
+	// aggregation sequence — and hence its geomean — matches the serial run.
+	names := dataset.Names()
+	perDataset := make([][]fig3Entry, len(names))
+	err := cfg.fanOut(len(names), func(idx int) error {
+		ds, err := dataset.Load(names[idx], cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nTrain := ds.TrainLen()
 		p := device.MLTrainParams{Samples: nTrain, Features: ds.Features, Classes: ds.Classes}
 
+		var entries []fig3Entry
 		for _, dev := range device.Devices() {
 			for alg, kind := range fig3HDC {
 				n := 3
@@ -122,33 +133,39 @@ func Figure3(cfg Config) (*Fig3Result, error) {
 				it, ie := dev.Run(hp.InferOps())
 				tt, te := dev.Run(hp.TrainOps(nTrain, cfg.Epochs))
 				tt, te = tt/float64(nTrain), te/float64(nTrain)
-				a := getAgg(sums, key(dev.Name, alg))
-				a.ie = append(a.ie, ie)
-				a.it = append(a.it, it)
-				a.te = append(a.te, te)
-				a.tt = append(a.tt, tt)
+				entries = append(entries, fig3Entry{key(dev.Name, alg), ie, it, te, tt})
 			}
 			if dev.Name == device.EGPU.Name {
 				// Classical ML on the eGPU: only DNN, as in the paper.
 				sh := fig3ML["DNN"]
 				it, ie := dev.Run(device.MLInferOps(sh.inferOps(ds.Features, ds.Classes, nTrain)))
 				tt, te := dev.Run(sh.trainOps(p))
-				a := getAgg(sums, key(dev.Name, "DNN"))
-				a.ie = append(a.ie, ie)
-				a.it = append(a.it, it)
-				a.te = append(a.te, te/float64(nTrain))
-				a.tt = append(a.tt, tt/float64(nTrain))
+				entries = append(entries, fig3Entry{
+					key(dev.Name, "DNN"), ie, it, te / float64(nTrain), tt / float64(nTrain)})
 				continue
 			}
 			for alg, sh := range fig3ML {
 				it, ie := dev.Run(device.MLInferOps(sh.inferOps(ds.Features, ds.Classes, nTrain)))
 				tt, te := dev.Run(sh.trainOps(p))
-				a := getAgg(sums, key(dev.Name, alg))
-				a.ie = append(a.ie, ie)
-				a.it = append(a.it, it)
-				a.te = append(a.te, te/float64(nTrain))
-				a.tt = append(a.tt, tt/float64(nTrain))
+				entries = append(entries, fig3Entry{
+					key(dev.Name, alg), ie, it, te / float64(nTrain), tt / float64(nTrain)})
 			}
+		}
+		perDataset[idx] = entries
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sums := map[string]*fig3Agg{}
+	for _, entries := range perDataset {
+		for _, e := range entries {
+			a := getAgg(sums, e.key)
+			a.ie = append(a.ie, e.ie)
+			a.it = append(a.it, e.it)
+			a.te = append(a.te, e.te)
+			a.tt = append(a.tt, e.tt)
 		}
 	}
 

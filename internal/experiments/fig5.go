@@ -36,32 +36,37 @@ var Fig5Datasets = []string{"EEG", "ISOLET"}
 // it at truncated dimensionalities, with and without the sub-norm fix.
 func Figure5(cfg Config) (*Fig5Result, error) {
 	cfg = cfg.normalized()
-	res := &Fig5Result{}
-	for _, name := range Fig5Datasets {
+	curves := make([]Fig5Curve, len(Fig5Datasets))
+	err := cfg.fanOut(len(Fig5Datasets), func(i int) error {
+		name := Fig5Datasets[i]
 		ds, err := dataset.Load(name, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		enc, err := encoderFor(encoding.Generic, ds, cfg.D, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		trainH := encoding.EncodeAll(enc, ds.TrainX)
-		testH := encoding.EncodeAll(enc, ds.TestX)
+		trainH := encoding.EncodeAllWorkers(enc, ds.TrainX, cfg.Workers)
+		testH := encoding.EncodeAllWorkers(enc, ds.TestX, cfg.Workers)
 		m, _ := classifier.TrainEncoded(trainH, ds.TrainY, ds.Classes, classifier.Options{
-			Epochs: cfg.Epochs, Seed: cfg.Seed,
+			Epochs: cfg.Epochs, Seed: cfg.Seed, Workers: cfg.Workers,
 		})
 		curve := Fig5Curve{Dataset: name}
 		for dims := classifier.SubNormGranularity; dims <= cfg.D; dims *= 2 {
 			curve.Points = append(curve.Points, Fig5Point{
 				Dims:         dims,
-				ConstantNorm: classifier.EvaluateDims(m, testH, ds.TestY, dims, false),
-				UpdatedNorm:  classifier.EvaluateDims(m, testH, ds.TestY, dims, true),
+				ConstantNorm: classifier.EvaluateDimsBatch(m, testH, ds.TestY, dims, false, cfg.Workers),
+				UpdatedNorm:  classifier.EvaluateDimsBatch(m, testH, ds.TestY, dims, true, cfg.Workers),
 			})
 		}
-		res.Curves = append(res.Curves, curve)
+		curves[i] = curve
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig5Result{Curves: curves}, nil
 }
 
 // MaxGap returns the largest accuracy gap (updated − constant) across a

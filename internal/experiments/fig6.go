@@ -57,10 +57,13 @@ func Figure6(cfg Config) (*Fig6Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		trainH := encoding.EncodeAll(enc, ds.TrainX)
-		testH := encoding.EncodeAll(enc, ds.TestX)
+		// The dataset loop stays serial: fault injection draws from one
+		// shared RNG stream, so fanning datasets out would change results.
+		// The batch encode/evaluate inside it still parallelizes safely.
+		trainH := encoding.EncodeAllWorkers(enc, ds.TrainX, cfg.Workers)
+		testH := encoding.EncodeAllWorkers(enc, ds.TestX, cfg.Workers)
 		base, _ := classifier.TrainEncoded(trainH, ds.TrainY, ds.Classes, classifier.Options{
-			Epochs: cfg.Epochs, Seed: cfg.Seed,
+			Epochs: cfg.Epochs, Seed: cfg.Seed, Workers: cfg.Workers,
 		})
 		curve := Fig6Curve{Dataset: name}
 		for _, ber := range Fig6BERs {
@@ -72,7 +75,7 @@ func Figure6(cfg Config) (*Fig6Result, error) {
 				m := base.Clone()
 				m.Quantize(bw)
 				m.InjectBitErrors(ber, faultRNG)
-				pt.Accuracy[bw] = classifier.Evaluate(m, testH, ds.TestY)
+				pt.Accuracy[bw] = classifier.EvaluateBatch(m, testH, ds.TestY, cfg.Workers)
 			}
 			curve.Points = append(curve.Points, pt)
 		}

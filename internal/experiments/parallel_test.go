@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// A harness-level determinism check: fanning a sweep across workers must
+// render the exact same table as the serial run.
+func TestHarnessParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs figure 5 twice in quick mode")
+	}
+	serialCfg := QuickConfig()
+	serialCfg.Workers = 1
+	parCfg := QuickConfig()
+	parCfg.Workers = 4
+
+	serial, err := Figure5(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure5(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := par.String(), serial.String(); got != want {
+		t.Errorf("parallel figure 5 differs from serial:\n--- workers=4 ---\n%s\n--- workers=1 ---\n%s", got, want)
+	}
+}

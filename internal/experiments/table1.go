@@ -40,14 +40,20 @@ type Table1Result struct {
 // encodings and four classical baselines on the eleven benchmarks.
 func Table1(cfg Config) (*Table1Result, error) {
 	cfg = cfg.normalized()
-	res := &Table1Result{}
-	for _, name := range dataset.Names() {
-		row, err := table1Dataset(name, cfg)
+	names := dataset.Names()
+	rows := make([]Table1Row, len(names))
+	err := cfg.fanOut(len(names), func(i int) error {
+		row, err := table1Dataset(names[i], cfg)
 		if err != nil {
-			return nil, fmt.Errorf("table1: %s: %w", name, err)
+			return fmt.Errorf("table1: %s: %w", names[i], err)
 		}
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &Table1Result{Rows: rows}
 	res.summarize()
 	return res, nil
 }
@@ -70,12 +76,12 @@ func table1Dataset(name string, cfg Config) (Table1Row, error) {
 		if err != nil {
 			return 0, err
 		}
-		trainH := encoding.EncodeAll(enc, ds.TrainX)
-		testH := encoding.EncodeAll(enc, ds.TestX)
+		trainH := encoding.EncodeAllWorkers(enc, ds.TrainX, cfg.Workers)
+		testH := encoding.EncodeAllWorkers(enc, ds.TestX, cfg.Workers)
 		m, _ := classifier.TrainEncoded(trainH, ds.TrainY, ds.Classes, classifier.Options{
-			Epochs: cfg.Epochs, Seed: cfg.Seed,
+			Epochs: cfg.Epochs, Seed: cfg.Seed, Workers: cfg.Workers,
 		})
-		return classifier.Evaluate(m, testH, ds.TestY), nil
+		return classifier.EvaluateBatch(m, testH, ds.TestY, cfg.Workers), nil
 	}
 	if row.RP, err = hdcAcc(encoding.RP); err != nil {
 		return row, err

@@ -30,12 +30,13 @@ const ClusterEpochs = 10
 // k-means versus HDC clustering on the FCPS benchmarks and Iris.
 func Table2(cfg Config) (*Table2Result, error) {
 	cfg = cfg.normalized()
-	res := &Table2Result{}
-	var km, hd []float64
-	for _, name := range dataset.ClusterNames() {
+	names := dataset.ClusterNames()
+	rows := make([]Table2Row, len(names))
+	err := cfg.fanOut(len(names), func(i int) error {
+		name := names[i]
 		cs, err := dataset.LoadCluster(name, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		kres := cluster.KMeansBest(cs.X, cs.K, 100, 10, cfg.Seed)
 		kNMI := metrics.NMI(kres.Assignments, cs.Labels)
@@ -49,15 +50,24 @@ func Table2(cfg Config) (*Table2Result, error) {
 			N: n, UseID: true, Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("table2: %s: %w", name, err)
+			return fmt.Errorf("table2: %s: %w", name, err)
 		}
-		encoded := encoding.EncodeAll(enc, cs.X)
-		hres := cluster.HDC(encoded, cs.K, ClusterEpochs)
-		hNMI := metrics.NMI(hres.Assignments, cs.Labels)
-
-		res.Rows = append(res.Rows, Table2Row{Dataset: name, KMeans: kNMI, HDC: hNMI})
-		km = append(km, kNMI)
-		hd = append(hd, hNMI)
+		encoded := encoding.EncodeAllWorkers(enc, cs.X, cfg.Workers)
+		hres := cluster.HDCWorkers(encoded, cs.K, ClusterEpochs, cfg.Workers)
+		rows[i] = Table2Row{
+			Dataset: name, KMeans: kNMI,
+			HDC: metrics.NMI(hres.Assignments, cs.Labels),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{Rows: rows}
+	var km, hd []float64
+	for _, row := range rows {
+		km = append(km, row.KMeans)
+		hd = append(hd, row.HDC)
 	}
 	res.MeanGap = metrics.Mean(km) - metrics.Mean(hd)
 	return res, nil

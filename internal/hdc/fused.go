@@ -1,0 +1,80 @@
+package hdc
+
+import "fmt"
+
+// Fused update kernels. GENERIC's retraining rule touches a class vector
+// three times per update — accumulate (AddInto/SubInto), clamp (Saturate),
+// and recompute the squared-norm ladder (one more full pass) — which is six
+// full class-vector sweeps per misprediction. These kernels do the whole
+// add/sub-saturate-renorm sequence in one pass per class, writing each
+// element once and folding its square into the running sub-norm ladder as it
+// goes. Results are bit-identical to the unfused sequence: both apply the
+// same elementwise accumulate-then-clamp, and the ladder is the same
+// cumulative sum.
+
+// fusedCheck validates the shared preconditions of the fused kernels.
+func fusedCheck(v, o Vec, bw, gran int, sub []int64) {
+	mustSameLen(v, o)
+	if bw <= 0 || bw > 31 {
+		panic(fmt.Sprintf("hdc: fused kernel bit-width %d out of range", bw))
+	}
+	if gran <= 0 || len(v)%gran != 0 {
+		panic(fmt.Sprintf("hdc: fused kernel granularity %d does not divide D=%d", gran, len(v)))
+	}
+	if len(sub) != len(v)/gran {
+		panic(fmt.Sprintf("hdc: fused kernel sub-norm ladder has %d entries, want %d", len(sub), len(v)/gran))
+	}
+}
+
+// AddSatNorms adds o into v, saturates every element to bw bits, and
+// rebuilds the cumulative squared-norm ladder at granularity gran in the
+// same pass: sub[k] becomes the squared norm of the first (k+1)·gran
+// dimensions of the updated v. It returns the full squared norm (sub's last
+// entry). Equivalent to AddInto + Saturate + a norm recompute, in one sweep.
+func (v Vec) AddSatNorms(o Vec, bw, gran int, sub []int64) int64 {
+	fusedCheck(v, o, bw, gran, sub)
+	hi := int32(1)<<(uint(bw)-1) - 1
+	lo := -hi - 1
+	var acc int64
+	k := 0
+	for base := 0; base < len(v); base += gran {
+		for i, end := base, base+gran; i < end; i++ {
+			s := v[i] + o[i]
+			if s > hi {
+				s = hi
+			} else if s < lo {
+				s = lo
+			}
+			v[i] = s
+			acc += int64(s) * int64(s)
+		}
+		sub[k] = acc
+		k++
+	}
+	return acc
+}
+
+// SubSatNorms is AddSatNorms with subtraction: v -= o elementwise, saturated
+// to bw bits, with the sub-norm ladder rebuilt in the same pass.
+func (v Vec) SubSatNorms(o Vec, bw, gran int, sub []int64) int64 {
+	fusedCheck(v, o, bw, gran, sub)
+	hi := int32(1)<<(uint(bw)-1) - 1
+	lo := -hi - 1
+	var acc int64
+	k := 0
+	for base := 0; base < len(v); base += gran {
+		for i, end := base, base+gran; i < end; i++ {
+			s := v[i] - o[i]
+			if s > hi {
+				s = hi
+			} else if s < lo {
+				s = lo
+			}
+			v[i] = s
+			acc += int64(s) * int64(s)
+		}
+		sub[k] = acc
+		k++
+	}
+	return acc
+}

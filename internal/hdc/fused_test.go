@@ -1,0 +1,127 @@
+package hdc
+
+import (
+	"testing"
+
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+const fusedGran = 128
+
+// unfusedRef applies the historical three-pass sequence the fused kernels
+// replace: accumulate, saturate, recompute the cumulative sub-norm ladder.
+func unfusedRef(v, o Vec, bw int, sub []int64, add bool) int64 {
+	if add {
+		v.AddInto(o)
+	} else {
+		v.SubInto(o)
+	}
+	v.Saturate(bw)
+	var acc int64
+	for k := range sub {
+		end := (k + 1) * fusedGran
+		for i := k * fusedGran; i < end; i++ {
+			acc += int64(v[i]) * int64(v[i])
+		}
+		sub[k] = acc
+	}
+	return acc
+}
+
+func randVec(r *rng.Rand, d int, span int32) Vec {
+	v := NewVec(d)
+	for i := range v {
+		v[i] = int32(r.Intn(int(2*span+1))) - span
+	}
+	return v
+}
+
+func TestFusedKernelsMatchUnfusedSequence(t *testing.T) {
+	r := rng.New(7)
+	for _, bw := range []int{4, 8, 16} {
+		hi := int32(1)<<(uint(bw)-1) - 1
+		for trial := 0; trial < 20; trial++ {
+			d := fusedGran * (1 + r.Intn(8))
+			// Class values near the saturation boundary plus large updates,
+			// so clamping actually triggers.
+			base := randVec(r, d, hi)
+			upd := randVec(r, d, 64)
+			for _, add := range []bool{true, false} {
+				vRef, vFused := base.Clone(), base.Clone()
+				subRef := make([]int64, d/fusedGran)
+				subFused := make([]int64, d/fusedGran)
+				want := unfusedRef(vRef, upd, bw, subRef, add)
+				var got int64
+				if add {
+					got = vFused.AddSatNorms(upd, bw, fusedGran, subFused)
+				} else {
+					got = vFused.SubSatNorms(upd, bw, fusedGran, subFused)
+				}
+				if got != want {
+					t.Fatalf("bw=%d add=%v: norm2 %d, want %d", bw, add, got, want)
+				}
+				for i := range vRef {
+					if vRef[i] != vFused[i] {
+						t.Fatalf("bw=%d add=%v: element %d: fused %d, unfused %d",
+							bw, add, i, vFused[i], vRef[i])
+					}
+				}
+				for k := range subRef {
+					if subRef[k] != subFused[k] {
+						t.Fatalf("bw=%d add=%v: sub-norm %d: fused %d, unfused %d",
+							bw, add, k, subFused[k], subRef[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFusedKernelPanics(t *testing.T) {
+	v, o := NewVec(256), NewVec(256)
+	sub := make([]int64, 2)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad bw", func() { v.AddSatNorms(o, 0, fusedGran, sub) })
+	mustPanic("bad gran", func() { v.AddSatNorms(o, 16, 100, sub) })
+	mustPanic("bad ladder", func() { v.SubSatNorms(o, 16, fusedGran, make([]int64, 3)) })
+	mustPanic("len mismatch", func() { v.AddSatNorms(NewVec(128), 16, fusedGran, sub) })
+}
+
+// The acceptance bar: the fused kernel must beat the unfused
+// sub/add-saturate-refresh sequence single-threaded.
+func BenchmarkUpdateUnfused(b *testing.B) {
+	r := rng.New(1)
+	d := 4096
+	v := randVec(r, d, 1<<14)
+	o := randVec(r, d, 64)
+	sub := make([]int64, d/fusedGran)
+	b.SetBytes(int64(d * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		unfusedRef(v, o, 16, sub, i%2 == 0)
+	}
+}
+
+func BenchmarkUpdateFused(b *testing.B) {
+	r := rng.New(1)
+	d := 4096
+	v := randVec(r, d, 1<<14)
+	o := randVec(r, d, 64)
+	sub := make([]int64, d/fusedGran)
+	b.SetBytes(int64(d * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			v.AddSatNorms(o, 16, fusedGran, sub)
+		} else {
+			v.SubSatNorms(o, 16, fusedGran, sub)
+		}
+	}
+}

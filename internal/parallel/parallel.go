@@ -1,0 +1,101 @@
+// Package parallel is the shared worker-pool core behind every batch API in
+// this repository: a chunked parallel-for over contiguous index ranges.
+//
+// Determinism is the design constraint. Work is split into at most `workers`
+// contiguous chunks, each chunk is owned by exactly one goroutine, and chunk
+// boundaries depend only on (workers, n) — never on scheduling. Callers that
+// reduce across chunks receive per-chunk results indexed by chunk and merge
+// them in chunk order, so a parallel run is bit-identical to the serial run
+// whenever the per-item work is independent (or the reduction operator is
+// associative and commutative, as integer accumulation is).
+//
+// A worker count of 1 short-circuits to a plain loop on the calling
+// goroutine: the serial path pays nothing for the abstraction.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count knob: n <= 0 means GOMAXPROCS, anything
+// else is returned unchanged. Every `Workers` field in the library funnels
+// through this, so 0 (the zero value) always means "use all cores".
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// chunks returns the number of contiguous chunks to split n items into for
+// the given (normalized) worker count.
+func chunks(workers, n int) int {
+	if workers > n {
+		return n
+	}
+	return workers
+}
+
+// For runs fn(worker, i) for every i in [0, n). Indices are split into
+// contiguous chunks, one per worker; fn observes the owning chunk index as
+// `worker` (0 ≤ worker < min(Workers(workers), n)), so callers can maintain
+// per-worker scratch without locking. workers <= 0 means GOMAXPROCS;
+// workers == 1 runs serially on the calling goroutine.
+func For(workers, n int, fn func(worker, i int)) {
+	ForChunks(workers, n, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(worker, i)
+		}
+	})
+}
+
+// ForChunks splits [0, n) into contiguous chunks and runs fn(worker, lo, hi)
+// once per chunk, each on its own goroutine. Chunk w covers indices
+// [lo, hi) with sizes differing by at most one, assigned low-to-high, so the
+// partition is a pure function of (workers, n). workers <= 0 means
+// GOMAXPROCS; a single chunk runs on the calling goroutine.
+func ForChunks(workers, n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := chunks(Workers(workers), n)
+	if w == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	size, rem := n/w, n%w
+	lo := 0
+	for c := 0; c < w; c++ {
+		hi := lo + size
+		if c < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			fn(c, lo, hi)
+		}(c, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// ForErr runs fn(i) for every i in [0, n) across workers and returns the
+// error of the lowest failing index (matching what a serial loop that stops
+// at the first error would report), or nil. All indices run even when an
+// early one fails, so fn must not depend on earlier iterations.
+func ForErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	For(workers, n, func(_, i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

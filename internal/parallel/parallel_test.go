@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must normalize non-positive counts to >= 1")
+	}
+	if Workers(7) != 7 {
+		t.Fatalf("Workers(7) = %d", Workers(7))
+	}
+}
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		for _, n := range []int{0, 1, 2, 3, 5, 16, 97} {
+			hits := make([]int32, n)
+			For(workers, n, func(_, i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		for _, n := range []int{1, 2, 7, 64, 101} {
+			var total int64
+			seen := make([]int32, n)
+			ForChunks(workers, n, func(worker, lo, hi int) {
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty chunk [%d,%d)", workers, n, lo, hi)
+				}
+				atomic.AddInt64(&total, int64(hi-lo))
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			if total != int64(n) {
+				t.Fatalf("workers=%d n=%d: chunks cover %d indices", workers, n, total)
+			}
+			for i, s := range seen {
+				if s != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, s)
+				}
+			}
+		}
+	}
+}
+
+// Chunk boundaries must be a pure function of (workers, n), so per-worker
+// reductions merged in chunk order are deterministic.
+func TestForChunksDeterministicBoundaries(t *testing.T) {
+	bounds := func() string {
+		ranges := make([]string, 4)
+		ForChunks(4, 1001, func(worker, lo, hi int) {
+			ranges[worker] = fmt.Sprintf("[%d,%d)", lo, hi)
+		})
+		return strings.Join(ranges, " ")
+	}
+	first := bounds()
+	for i := 0; i < 10; i++ {
+		if b := bounds(); b != first {
+			t.Fatalf("chunk boundaries changed between identical calls: %s vs %s", first, b)
+		}
+	}
+}
+
+func TestForWorkerIndexOwnsContiguousRange(t *testing.T) {
+	n, workers := 100, 4
+	owner := make([]int32, n)
+	For(workers, n, func(worker, i int) { owner[i] = int32(worker) })
+	// Owners must be non-decreasing across the index space.
+	for i := 1; i < n; i++ {
+		if owner[i] < owner[i-1] {
+			t.Fatalf("index %d owned by worker %d after worker %d", i, owner[i], owner[i-1])
+		}
+	}
+}
+
+func TestSerialShortCircuitRunsOnCaller(t *testing.T) {
+	// With workers=1 the loop must run on the calling goroutine: a value
+	// mutated without synchronization is visible immediately after.
+	x := 0
+	For(1, 10, func(_, i int) { x += i })
+	if x != 45 {
+		t.Fatalf("serial For sum = %d, want 45", x)
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForErr(4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 7:
+			return errA
+		}
+		return nil
+	})
+	if err != errB {
+		t.Fatalf("ForErr returned %v, want error of lowest failing index", err)
+	}
+	if err := ForErr(4, 10, func(int) error { return nil }); err != nil {
+		t.Fatalf("ForErr returned %v on success", err)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"os"
 
 	"github.com/edge-hdc/generic/internal/encoding"
-	"github.com/edge-hdc/generic/internal/hdc"
 	"github.com/edge-hdc/generic/internal/modelio"
 )
 
@@ -49,7 +48,6 @@ func LoadPipeline(r io.Reader) (*Pipeline, error) {
 	}
 	p := NewPipeline(enc, b.Model.Classes())
 	p.model = b.Model
-	p.scratch = hdc.NewVec(enc.D())
 	return p, nil
 }
 

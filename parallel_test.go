@@ -1,0 +1,139 @@
+package generic_test
+
+import (
+	"sync"
+	"testing"
+
+	generic "github.com/edge-hdc/generic"
+)
+
+// fitWorkers trains the same separable problem as trainXor with an
+// explicit worker count.
+func fitWorkers(t *testing.T, workers int) (*generic.Pipeline, [][]float64, []int) {
+	t.Helper()
+	var X [][]float64
+	var Y []int
+	for i := 0; i < 200; i++ {
+		x := make([]float64, 32)
+		c := i % 2
+		base := 0
+		if c == 1 {
+			base = 16
+		}
+		for j := 0; j < 8; j++ {
+			x[base+j] = 0.9
+		}
+		x[(i*7)%32] += 0.05
+		X = append(X, x)
+		Y = append(Y, c)
+	}
+	enc, err := generic.NewEncoder(generic.Generic, generic.EncoderConfig{
+		D: 512, Features: 32, Lo: 0, Hi: 1, UseID: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := generic.NewPipeline(enc, 2)
+	p.Fit(X, Y, generic.TrainOptions{Epochs: 5, Seed: 1, Workers: workers})
+	return p, X, Y
+}
+
+// The public determinism guarantee: Fit with any worker count yields a
+// model bit-identical to the serial one.
+func TestFitParallelBitIdentical(t *testing.T) {
+	serial, X, Y := fitWorkers(t, 1)
+	for _, workers := range []int{2, 4} {
+		par, _, _ := fitWorkers(t, workers)
+		sm, pm := serial.Model(), par.Model()
+		for c := 0; c < sm.Classes(); c++ {
+			sv, pv := sm.Class(c), pm.Class(c)
+			for i := range sv {
+				if sv[i] != pv[i] {
+					t.Fatalf("workers=%d: class %d element %d differs", workers, c, i)
+				}
+			}
+		}
+		if sa, pa := serial.AccuracyWorkers(X, Y, 1), par.AccuracyWorkers(X, Y, workers); sa != pa {
+			t.Fatalf("workers=%d: accuracy %v vs serial %v", workers, pa, sa)
+		}
+		want := serial.PredictBatch(X, 1)
+		got := par.PredictBatch(X, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: PredictBatch sample %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// Concurrent Predict/PredictReduced on one Pipeline must be safe (the
+// encoder/scratch pool) and agree with the serial answers. Run under
+// -race to verify the safety half.
+func TestPredictConcurrentSafe(t *testing.T) {
+	p, X, Y := fitWorkers(t, 1)
+	want := make([]int, len(X))
+	wantRed := make([]int, len(X))
+	for i, x := range X {
+		want[i] = p.Predict(x)
+		wantRed[i] = p.PredictReduced(x, 256)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(X); i += 8 {
+				if got := p.Predict(X[i]); got != want[i] {
+					t.Errorf("concurrent Predict(%d) = %d, want %d", i, got, want[i])
+					return
+				}
+				if got := p.PredictReduced(X[i], 256); got != wantRed[i] {
+					t.Errorf("concurrent PredictReduced(%d) = %d, want %d", i, got, wantRed[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	_ = Y
+}
+
+func TestEncodeWorkersMatchesSerial(t *testing.T) {
+	_, X, _ := fitWorkers(t, 1)
+	enc, err := generic.NewEncoder(generic.Generic, generic.EncoderConfig{
+		D: 512, Features: 32, Lo: 0, Hi: 1, UseID: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := generic.Encode(enc, X)
+	got := generic.EncodeWorkers(enc, X, 4)
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("encoded sample %d element %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestClusterWorkersBitIdentical(t *testing.T) {
+	cs, err := generic.LoadClusterSet("Iris", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := generic.NewEncoder(generic.Generic, generic.EncoderConfig{
+		D: 1024, Features: cs.Features, Bins: 32, Lo: cs.Lo, Hi: cs.Hi,
+		N: cs.Features, UseID: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := generic.Cluster(enc, cs.X, cs.K, 5)
+	par := generic.ClusterWorkers(enc, cs.X, cs.K, 5, 4)
+	for i := range serial.Assignments {
+		if par.Assignments[i] != serial.Assignments[i] {
+			t.Fatalf("assignment %d differs: %d vs %d", i, par.Assignments[i], serial.Assignments[i])
+		}
+	}
+}
