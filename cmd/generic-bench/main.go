@@ -17,17 +17,27 @@ import (
 	"time"
 
 	generic "github.com/edge-hdc/generic"
+	"github.com/edge-hdc/generic/internal/rng"
 )
 
 func main() {
 	var (
 		exps    = flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(generic.Experiments(), ",")+") or 'all'")
 		quick   = flag.Bool("quick", false, "reduced-fidelity configuration (seconds instead of minutes)")
-		seed    = flag.Uint64("seed", 1, "master random seed")
+		seed    = flag.Uint64("seed", 1, "master random seed (0 = derive one from the clock; the choice is printed so any run can be replayed)")
 		d       = flag.Int("d", 0, "hypervector dimensionality override (accuracy experiments)")
 		workers = flag.Int("workers", 0, "worker count for the harness sweeps (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
+	if *seed == 0 {
+		// Derive a fresh seed from the clock, mixed through rng.SplitMix64
+		// so close-together launches do not land on correlated xoshiro
+		// streams. The clock never feeds the experiments directly; the
+		// printed seed replays the run exactly.
+		z := uint64(time.Now().UnixNano())
+		*seed = rng.SplitMix64(&z)
+	}
+	fmt.Printf("seed: %d (rerun with -seed %d to reproduce)\n", *seed, *seed)
 
 	cfg := generic.DefaultExperimentConfig()
 	if *quick {

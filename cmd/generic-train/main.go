@@ -17,6 +17,7 @@ import (
 	"time"
 
 	generic "github.com/edge-hdc/generic"
+	"github.com/edge-hdc/generic/internal/rng"
 )
 
 var kinds = map[string]generic.EncodingKind{
@@ -30,7 +31,7 @@ func main() {
 		kind    = flag.String("encoding", "generic", "encoding (rp,level-id,ngram,permute,generic)")
 		d       = flag.Int("d", 4096, "hypervector dimensionality")
 		epochs  = flag.Int("epochs", 20, "retraining epochs")
-		seed    = flag.Uint64("seed", 1, "random seed")
+		seed    = flag.Uint64("seed", 0, "random seed (0 = derive one from the clock; the choice is printed so any run can be replayed)")
 		bw      = flag.Int("bw", 0, "quantize the trained model to this bit-width (0 = keep 16)")
 		dims    = flag.Int("dims", 0, "also evaluate with dimension reduction to this many dims")
 		save    = flag.String("save", "", "write the trained pipeline to this file")
@@ -39,6 +40,8 @@ func main() {
 		workers = flag.Int("workers", 0, "worker count for batch encode/train/evaluate (0 = all cores, 1 = serial; results are identical)")
 	)
 	flag.Parse()
+	*seed = chooseSeed(*seed)
+	fmt.Printf("seed: %d (rerun with -seed %d to reproduce)\n", *seed, *seed)
 
 	if *load != "" {
 		ds, err := generic.LoadDataset(*name, *seed)
@@ -110,4 +113,17 @@ func main() {
 		}
 		fmt.Printf("saved pipeline to %s\n", *save)
 	}
+}
+
+// chooseSeed resolves the -seed flag: an explicit nonzero value is used as
+// given; 0 derives a fresh seed from the clock, mixed through
+// rng.SplitMix64 so close-together launches do not land on correlated
+// xoshiro streams. The caller prints the result — the clock never feeds the
+// model directly, so every run stays replayable.
+func chooseSeed(explicit uint64) uint64 {
+	if explicit != 0 {
+		return explicit
+	}
+	z := uint64(time.Now().UnixNano())
+	return rng.SplitMix64(&z)
 }

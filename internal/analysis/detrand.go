@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DetRand enforces the replayability contract on model-state-affecting code:
+// every package under internal/ except internal/rng (the sanctioned
+// randomness source) and internal/analysis (this linter).
+//
+// Three constructs are banned there:
+//
+//   - importing math/rand or math/rand/v2 — the global generator is seeded
+//     per-process and its streams are not splittable, so results silently
+//     stop being a pure function of the explicit seed;
+//   - calling time.Now — wall-clock values leaking into seeds, tie-breaks,
+//     or recorded state make runs unreplayable;
+//   - ranging over a map — Go randomizes map iteration order per run, so
+//     any order-sensitive fold (float accumulation, first/best-wins
+//     selection, output row order) becomes nondeterministic.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "ban math/rand, time.Now, and map-range iteration in model-state code under internal/",
+	Run:  runDetRand,
+}
+
+func runDetRand(pass *Pass) {
+	if !pass.InternalPkg("rng", "analysis") {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in model-state code: draw all randomness from internal/rng with an explicit seed", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isPkgFunc(pass.Info, n.Fun, "time", "Now") {
+					pass.Reportf(n.Pos(), "time.Now in model-state code: wall-clock input makes runs unreplayable; thread an explicit seed or timestamp through the caller")
+				}
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok && !isKeyCollect(n) {
+						pass.Reportf(n.Pos(), "map iteration order is randomized per run: range over a sorted or fixed key order (collect keys with `for k := range m { keys = append(keys, k) }`, sort, then iterate)")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isKeyCollect recognizes the one sanctioned map-range idiom — gathering the
+// keys for sorting:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//
+// The body must be exactly that single append of the range key; anything
+// order-sensitive (value reads, folds, early exits) disqualifies it.
+func isKeyCollect(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	arg, ok2 := call.Args[1].(*ast.Ident)
+	return ok && ok2 && src.Name == dst.Name && arg.Name == key.Name
+}
+
+// isPkgFunc reports whether fun denotes the package-level function pkg.name.
+func isPkgFunc(info *types.Info, fun ast.Expr, pkg, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkg
+}

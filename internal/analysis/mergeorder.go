@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MergeOrder guards the reduction contract of the batch APIs: per-worker
+// partial results are written into a slice indexed by worker (or chunk)
+// index and combined by a plain ordered loop after the barrier. Collecting
+// results from a channel as they arrive merges in scheduling order, which
+// breaks bit-identity for any non-commutative fold (float accumulation,
+// append, first-wins selection) — and does so only occasionally, which is
+// worse.
+//
+// The analyzer flags, in module packages:
+//
+//   - ranging over a channel — the canonical arrival-order merge loop;
+//   - a channel receive inside a for loop — the hand-rolled variant.
+//
+// A single receive outside a loop (waiting for one completion signal) is
+// legitimate coordination and passes.
+var MergeOrder = &Analyzer{
+	Name: "mergeorder",
+	Doc:  "require per-worker results to merge by worker index, not channel-arrival order",
+	Run:  runMergeOrder,
+}
+
+func runMergeOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		checkMergeOrder(pass, file, 0)
+	}
+}
+
+// checkMergeOrder walks n tracking the enclosing loop depth. Function
+// literals and declarations reset the depth: a receive inside a closure that
+// is itself inside a loop still receives once per closure call.
+func checkMergeOrder(pass *Pass, n ast.Node, loopDepth int) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkMergeOrder(pass, n.Body, 0)
+			return false
+		case *ast.ForStmt:
+			checkLoopBody(pass, n.Body, loopDepth+1)
+			if n.Init != nil {
+				checkMergeOrder(pass, n.Init, loopDepth)
+			}
+			if n.Cond != nil {
+				checkMergeOrder(pass, n.Cond, loopDepth)
+			}
+			if n.Post != nil {
+				checkMergeOrder(pass, n.Post, loopDepth)
+			}
+			return false
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pass.Reportf(n.Pos(), "ranging over a channel merges worker results in arrival order, which is scheduling-dependent; store per-worker partials in a slice and combine them by worker index")
+				}
+			}
+			checkLoopBody(pass, n.Body, loopDepth+1)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && loopDepth > 0 {
+				pass.Reportf(n.Pos(), "channel receive inside a loop merges worker results in arrival order, which is scheduling-dependent; store per-worker partials in a slice and combine them by worker index")
+			}
+		}
+		return true
+	})
+}
+
+// checkLoopBody continues the walk inside a loop body at the given depth.
+func checkLoopBody(pass *Pass, body *ast.BlockStmt, depth int) {
+	for _, stmt := range body.List {
+		checkMergeOrder(pass, stmt, depth)
+	}
+}

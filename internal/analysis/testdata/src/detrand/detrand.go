@@ -1,0 +1,54 @@
+// Package state is a golden fixture for the generic/detrand analyzer: it
+// seeds one violation of each banned construct plus the sanctioned patterns
+// that must stay silent.
+package state
+
+import (
+	"math/rand" // want generic/detrand
+	"time"
+)
+
+// WallClockSeed leaks wall-clock time into a seed.
+func WallClockSeed() int64 {
+	return time.Now().UnixNano() // want generic/detrand
+}
+
+// GlobalRand uses the process-global generator.
+func GlobalRand() int { return rand.Int() }
+
+// FoldInMapOrder accumulates floats in map order.
+func FoldInMapOrder(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want generic/detrand
+		s += v
+	}
+	return s
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom: allowed.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SuppressedFold carries an ignore directive with a reason: allowed.
+func SuppressedFold(m map[string]int) int {
+	s := 0
+	//lint:ignore generic/detrand integer addition commutes, the fold is order-independent
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// SliceRange ranges a slice, not a map: allowed.
+func SliceRange(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

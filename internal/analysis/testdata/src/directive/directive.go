@@ -1,0 +1,14 @@
+// Package directive is a golden fixture for the suppression-directive
+// parser: directives without a reason or with names outside the generic/
+// namespace are themselves findings (reported as "directive" in the test
+// table — want-markers cannot share a line with the directive comment).
+package directive
+
+//lint:ignore generic/detrand
+var MissingReason = 1
+
+//lint:ignore detrand the namespace prefix is missing
+var MissingNamespace = 2
+
+//lint:ignore generic/detrand,generic/dimguard both suppressed with one shared reason
+var TwoNames = map[string]int{}

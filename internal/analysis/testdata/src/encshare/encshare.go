@@ -1,0 +1,70 @@
+// Package enc is a golden fixture for the generic/encshare analyzer. It
+// declares a miniature encoder with the library Encode shape and seeds
+// captures of it into a go statement and a parallel.For body.
+package enc
+
+import (
+	"sync"
+
+	"github.com/edge-hdc/generic/internal/parallel"
+)
+
+// Vec mirrors the hdc hypervector shape (an int32 slice).
+type Vec []int32
+
+// Encoder mirrors a library encoder: Encode writes into out using scratch.
+type Encoder struct{ scratch Vec }
+
+// Encode has the library encoder shape, so the type is encoder-ish.
+func (e *Encoder) Encode(x []float64, out Vec) {}
+
+// Iface mirrors encoding.Encoder.
+type Iface interface {
+	Encode(x []float64, out Vec)
+}
+
+// NewEncoder builds a fresh encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// GoCapture shares one encoder across goroutines: flagged.
+func GoCapture(e *Encoder, X [][]float64, out []Vec) {
+	var wg sync.WaitGroup
+	for i := range X {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.Encode(X[i], out[i]) // want generic/encshare
+		}(i)
+	}
+	wg.Wait()
+}
+
+// ForCapture fans one interface-typed encoder into parallel.For: flagged.
+func ForCapture(e Iface, X [][]float64, out []Vec) {
+	parallel.For(0, len(X), func(w, i int) {
+		e.Encode(X[i], out[i]) // want generic/encshare
+	})
+}
+
+// CloneInside builds a per-worker encoder inside the closure: allowed.
+func CloneInside(X [][]float64, out []Vec) {
+	parallel.For(0, len(X), func(w, i int) {
+		e := NewEncoder()
+		e.Encode(X[i], out[i])
+	})
+}
+
+// SerialUse encodes on the calling goroutine: allowed.
+func SerialUse(e *Encoder, X [][]float64, out []Vec) {
+	for i := range X {
+		e.Encode(X[i], out[i])
+	}
+}
+
+// SuppressedCapture documents a read-only capture: allowed via directive.
+func SuppressedCapture(e *Encoder, ds []Vec) {
+	parallel.For(0, len(ds), func(w, i int) {
+		//lint:ignore generic/encshare the closure only reads immutable config, never Encode
+		_ = e
+	})
+}

@@ -1,0 +1,62 @@
+// Package merge is a golden fixture for the generic/mergeorder analyzer:
+// arrival-order merges are seeded violations, single-receive coordination
+// and index-ordered merges stay silent.
+package merge
+
+// RangeMerge collects worker results in channel-arrival order: flagged.
+func RangeMerge(ch chan []float64) []float64 {
+	var out []float64
+	for part := range ch { // want generic/mergeorder
+		out = append(out, part...)
+	}
+	return out
+}
+
+// RecvLoopMerge is the hand-rolled arrival-order merge: flagged.
+func RecvLoopMerge(ch chan float64, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += <-ch // want generic/mergeorder
+	}
+	return s
+}
+
+// SelectLoopMerge drains via select inside a loop: flagged.
+func SelectLoopMerge(a, b chan int, n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		select {
+		case v := <-a: // want generic/mergeorder
+			s += v
+		case v := <-b: // want generic/mergeorder
+			s += v
+		}
+	}
+	return s
+}
+
+// SingleRecv waits for one completion signal outside any loop: allowed.
+func SingleRecv(done chan struct{}) {
+	<-done
+}
+
+// RecvInClosure receives once per closure invocation; the enclosing loop
+// does not make it an arrival-order merge: allowed.
+func RecvInClosure(chs []chan int) []func() int {
+	var fns []func() int
+	for _, ch := range chs {
+		ch := ch
+		fns = append(fns, func() int { return <-ch })
+	}
+	return fns
+}
+
+// IndexedMerge is the sanctioned shape: per-worker slots, combined in
+// worker order after the barrier.
+func IndexedMerge(partials [][]float64) []float64 {
+	var out []float64
+	for _, p := range partials {
+		out = append(out, p...)
+	}
+	return out
+}

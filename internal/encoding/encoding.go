@@ -99,12 +99,20 @@ func New(kind Kind, cfg Config) (Encoder, error) {
 	if cfg.D <= 0 || cfg.D%hdc.WordBits != 0 {
 		return nil, fmt.Errorf("encoding: D=%d must be a positive multiple of %d", cfg.D, hdc.WordBits)
 	}
+	// Level-based encoders hand Bins straight to hdc.NewLevelTable, which
+	// panics outside its ladder range; surface that as a config error here.
+	if kind != RP && (cfg.Bins < 2 || (cfg.Bins-1)*2 > cfg.D) {
+		return nil, fmt.Errorf("encoding: Bins=%d outside the level-ladder range [2, D/2+1] for D=%d", cfg.Bins, cfg.D)
+	}
 	switch kind {
 	case RP:
 		return newRP(cfg), nil
 	case LevelID:
 		return newLevelID(cfg), nil
 	case Ngram, Generic:
+		if cfg.N < 1 {
+			return nil, fmt.Errorf("encoding: window length N=%d must be positive", cfg.N)
+		}
 		if cfg.Features < cfg.N {
 			return nil, fmt.Errorf("encoding: %d features < window length %d", cfg.Features, cfg.N)
 		}

@@ -85,6 +85,14 @@ var fig3HDC = map[string]encoding.Kind{
 	"RP": encoding.RP, "level-id": encoding.LevelID, "GENERIC": encoding.Generic,
 }
 
+// fig3HDCOrder and fig3MLOrder fix the iteration order of the algorithm
+// tables above: ranging over the maps directly would aggregate cells in a
+// per-run random order.
+var (
+	fig3HDCOrder = []string{"RP", "level-id", "GENERIC"}
+	fig3MLOrder  = []string{"MLP", "SVM", "RF", "LR", "KNN", "DNN"}
+)
+
 // PaperD is the hypervector dimensionality of the paper's hardware
 // operating point. The device- and accelerator-energy experiments always
 // run at this size — op counting is cheap, so Quick mode does not shrink
@@ -121,7 +129,8 @@ func Figure3(cfg Config) (*Fig3Result, error) {
 
 		var entries []fig3Entry
 		for _, dev := range device.Devices() {
-			for alg, kind := range fig3HDC {
+			for _, alg := range fig3HDCOrder {
+				kind := fig3HDC[alg]
 				n := 3
 				if ds.Features < n {
 					n = ds.Features
@@ -144,7 +153,8 @@ func Figure3(cfg Config) (*Fig3Result, error) {
 					key(dev.Name, "DNN"), ie, it, te / float64(nTrain), tt / float64(nTrain)})
 				continue
 			}
-			for alg, sh := range fig3ML {
+			for _, alg := range fig3MLOrder {
+				sh := fig3ML[alg]
 				it, ie := dev.Run(device.MLInferOps(sh.inferOps(ds.Features, ds.Classes, nTrain)))
 				tt, te := dev.Run(sh.trainOps(p))
 				entries = append(entries, fig3Entry{

@@ -1,9 +1,6 @@
 package hdc
 
-import (
-	"fmt"
-	"math/bits"
-)
+import "math/bits"
 
 // Acc bundles binary hypervectors: it counts, per dimension, how many of the
 // added vectors had bit 1. Counts are kept bit-sliced — plane j holds bit j
@@ -44,9 +41,7 @@ func (a *Acc) Reset() {
 
 // Add bundles v into the accumulator.
 func (a *Acc) Add(v *BitVec) {
-	if v.d != a.d {
-		panic("hdc: Acc.Add dimensionality mismatch")
-	}
+	mustSameDim("Acc.Add", v.d, a.d)
 	a.n++
 	nw := a.d / WordBits
 	// Ripple-carry add of the 1-bit vector into the bit-sliced counters.
@@ -91,9 +86,7 @@ func (a *Acc) CountAt(i int) int {
 
 // Counts writes the per-dimension counts into dst, which must have length D.
 func (a *Acc) Counts(dst []int32) {
-	if len(dst) != a.d {
-		panic(fmt.Sprintf("hdc: Acc.Counts needs len %d, got %d", a.d, len(dst)))
-	}
+	mustSameDim("Acc.Counts", len(dst), a.d)
 	for i := range dst {
 		dst[i] = 0
 	}

@@ -86,13 +86,13 @@ func (v *BitVec) Clone() *BitVec {
 
 // CopyFrom overwrites v with src. The dimensionalities must match.
 func (v *BitVec) CopyFrom(src *BitVec) {
-	if v.d != src.d {
-		panic("hdc: CopyFrom dimensionality mismatch")
-	}
+	mustSameDim("BitVec.CopyFrom", src.d, v.d)
 	copy(v.words, src.words)
 }
 
 // Equal reports whether v and o have identical dimensionality and bits.
+//
+//lint:ignore generic/dimguard Equal is a predicate: mismatched dimensionalities compare unequal rather than panic.
 func (v *BitVec) Equal(o *BitVec) bool {
 	if v.d != o.d {
 		return false
@@ -108,9 +108,8 @@ func (v *BitVec) Equal(o *BitVec) bool {
 // XorInto stores a ⊕ b into dst. All three must share a dimensionality;
 // dst may alias a or b.
 func XorInto(dst, a, b *BitVec) {
-	if dst.d != a.d || a.d != b.d {
-		panic("hdc: XorInto dimensionality mismatch")
-	}
+	mustSameDim("XorInto", a.d, dst.d)
+	mustSameDim("XorInto", b.d, dst.d)
 	for i := range dst.words {
 		dst.words[i] = a.words[i] ^ b.words[i]
 	}
@@ -118,9 +117,7 @@ func XorInto(dst, a, b *BitVec) {
 
 // XorAccumulate folds v into dst: dst ^= v.
 func XorAccumulate(dst, v *BitVec) {
-	if dst.d != v.d {
-		panic("hdc: XorAccumulate dimensionality mismatch")
-	}
+	mustSameDim("XorAccumulate", v.d, dst.d)
 	for i := range dst.words {
 		dst.words[i] ^= v.words[i]
 	}
@@ -131,9 +128,7 @@ func XorAccumulate(dst, v *BitVec) {
 // used by the permutation and GENERIC encodings and by the id generator.
 // dst must not alias src unless k == 0.
 func RotateInto(dst, src *BitVec, k int) {
-	if dst.d != src.d {
-		panic("hdc: RotateInto dimensionality mismatch")
-	}
+	mustSameDim("RotateInto", src.d, dst.d)
 	n := len(src.words)
 	k %= src.d
 	if k < 0 {
@@ -166,9 +161,7 @@ func Rotate(v *BitVec, k int) *BitVec {
 
 // Hamming returns the number of dimensions where a and b differ.
 func Hamming(a, b *BitVec) int {
-	if a.d != b.d {
-		panic("hdc: Hamming dimensionality mismatch")
-	}
+	mustSameDim("Hamming", b.d, a.d)
 	h := 0
 	for i, w := range a.words {
 		h += bits.OnesCount64(w ^ b.words[i])
@@ -179,6 +172,7 @@ func Hamming(a, b *BitVec) int {
 // Dot returns the bipolar dot product of a and b: D − 2·hamming(a, b).
 // Orthogonal vectors score ≈ 0; identical vectors score D.
 func Dot(a, b *BitVec) int {
+	mustSameDim("Dot", b.d, a.d)
 	return a.d - 2*Hamming(a, b)
 }
 

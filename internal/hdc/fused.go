@@ -12,18 +12,18 @@ import "fmt"
 // same elementwise accumulate-then-clamp, and the ladder is the same
 // cumulative sum.
 
-// fusedCheck validates the shared preconditions of the fused kernels.
-func fusedCheck(v, o Vec, bw, gran int, sub []int64) {
-	mustSameLen(v, o)
-	if bw <= 0 || bw > 31 {
-		panic(fmt.Sprintf("hdc: fused kernel bit-width %d out of range", bw))
-	}
+// fusedCheck validates the shared preconditions of the fused kernels and
+// returns the saturation bounds for bw, from the same source (satBounds)
+// every other clamping kernel uses.
+func fusedCheck(op string, v, o Vec, bw, gran int, sub []int64) (lo, hi int32) {
+	mustSameLen(op, v, o)
 	if gran <= 0 || len(v)%gran != 0 {
-		panic(fmt.Sprintf("hdc: fused kernel granularity %d does not divide D=%d", gran, len(v)))
+		panic(fmt.Sprintf("hdc: %s granularity %d does not divide D=%d", op, gran, len(v)))
 	}
 	if len(sub) != len(v)/gran {
-		panic(fmt.Sprintf("hdc: fused kernel sub-norm ladder has %d entries, want %d", len(sub), len(v)/gran))
+		panic(fmt.Sprintf("hdc: %s sub-norm ladder has %d entries, want %d", op, len(sub), len(v)/gran))
 	}
+	return satBounds(op, bw)
 }
 
 // AddSatNorms adds o into v, saturates every element to bw bits, and
@@ -32,9 +32,7 @@ func fusedCheck(v, o Vec, bw, gran int, sub []int64) {
 // dimensions of the updated v. It returns the full squared norm (sub's last
 // entry). Equivalent to AddInto + Saturate + a norm recompute, in one sweep.
 func (v Vec) AddSatNorms(o Vec, bw, gran int, sub []int64) int64 {
-	fusedCheck(v, o, bw, gran, sub)
-	hi := int32(1)<<(uint(bw)-1) - 1
-	lo := -hi - 1
+	lo, hi := fusedCheck("Vec.AddSatNorms", v, o, bw, gran, sub)
 	var acc int64
 	k := 0
 	for base := 0; base < len(v); base += gran {
@@ -57,9 +55,7 @@ func (v Vec) AddSatNorms(o Vec, bw, gran int, sub []int64) int64 {
 // SubSatNorms is AddSatNorms with subtraction: v -= o elementwise, saturated
 // to bw bits, with the sub-norm ladder rebuilt in the same pass.
 func (v Vec) SubSatNorms(o Vec, bw, gran int, sub []int64) int64 {
-	fusedCheck(v, o, bw, gran, sub)
-	hi := int32(1)<<(uint(bw)-1) - 1
-	lo := -hi - 1
+	lo, hi := fusedCheck("Vec.SubSatNorms", v, o, bw, gran, sub)
 	var acc int64
 	k := 0
 	for base := 0; base < len(v); base += gran {

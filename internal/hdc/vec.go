@@ -21,7 +21,7 @@ func (v Vec) Clone() Vec {
 
 // AddInto accumulates o into v element-wise.
 func (v Vec) AddInto(o Vec) {
-	mustSameLen(v, o)
+	mustSameLen("Vec.AddInto", v, o)
 	for i, x := range o {
 		v[i] += x
 	}
@@ -29,7 +29,7 @@ func (v Vec) AddInto(o Vec) {
 
 // SubInto subtracts o from v element-wise.
 func (v Vec) SubInto(o Vec) {
-	mustSameLen(v, o)
+	mustSameLen("Vec.SubInto", v, o)
 	for i, x := range o {
 		v[i] -= x
 	}
@@ -37,7 +37,7 @@ func (v Vec) SubInto(o Vec) {
 
 // Dot returns the dot product of v and o as int64.
 func (v Vec) Dot(o Vec) int64 {
-	mustSameLen(v, o)
+	mustSameLen("Vec.Dot", v, o)
 	var s int64
 	for i, x := range v {
 		s += int64(x) * int64(o[i])
@@ -99,11 +99,7 @@ func CosineScore(dot int64, norm2 int64) float64 {
 // Saturate clamps every element of v to the signed range of bw bits
 // ([−2^(bw−1), 2^(bw−1)−1]), modeling a fixed-width class memory.
 func (v Vec) Saturate(bw int) {
-	if bw <= 0 || bw > 31 {
-		panic(fmt.Sprintf("hdc: Saturate bit-width %d out of range", bw))
-	}
-	hi := int32(1)<<(uint(bw)-1) - 1
-	lo := -hi - 1
+	lo, hi := satBounds("Vec.Saturate", bw)
 	for i, x := range v {
 		if x > hi {
 			v[i] = hi
@@ -118,19 +114,20 @@ func (v Vec) Saturate(bw int) {
 // (the mask unit masks out unused bits). Elements are scaled into
 // [−2^(bw−1), 2^(bw−1)−1] proportionally to maxAbs.
 func (v Vec) QuantizeTo(bw int, maxAbs int32) {
-	if bw <= 0 || bw > 16 {
-		panic(fmt.Sprintf("hdc: QuantizeTo bit-width %d out of range", bw))
+	if bw > 16 {
+		panic(fmt.Sprintf("hdc: Vec.QuantizeTo bit-width %d out of range [1,16]", bw))
 	}
+	lo32, hi32 := satBounds("Vec.QuantizeTo", bw)
 	if maxAbs <= 0 {
 		return
 	}
-	hi := int64(1)<<(uint(bw)-1) - 1
+	lo, hi := int64(lo32), int64(hi32)
 	for i, x := range v {
 		q := (int64(x)*hi + int64(maxAbs)/2) / int64(maxAbs)
 		if q > hi {
 			q = hi
-		} else if q < -hi-1 {
-			q = -hi - 1
+		} else if q < lo {
+			q = lo
 		}
 		v[i] = int32(q)
 	}
@@ -150,8 +147,6 @@ func (v Vec) MaxAbs() int32 {
 	return m
 }
 
-func mustSameLen(a, b Vec) {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("hdc: vector length mismatch %d vs %d", len(a), len(b)))
-	}
+func mustSameLen(op string, a, b Vec) {
+	mustSameDim(op, len(b), len(a))
 }

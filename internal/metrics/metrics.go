@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Accuracy returns the fraction of predictions equal to labels.
@@ -79,10 +80,22 @@ func NMI(a, b []int) float64 {
 	if ha == 0 || hb == 0 {
 		return 0
 	}
+	// Accumulate in sorted key order: float addition is not associative, so
+	// summing in map order would make the low bits of NMI vary run to run.
+	pairs := make([][2]int, 0, len(joint))
+	for k := range joint {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
 	var mi float64
 	fn := float64(n)
-	for k, nij := range joint {
-		pij := float64(nij) / fn
+	for _, k := range pairs {
+		pij := float64(joint[k]) / fn
 		pa := float64(ca[k[0]]) / fn
 		pb := float64(cb[k[1]]) / fn
 		mi += pij * math.Log(pij/(pa*pb))
@@ -104,10 +117,17 @@ func countLabels(x []int) map[int]int {
 }
 
 func entropy(counts map[int]int, n int) float64 {
+	// Sorted label order for the same reason as the mutual-information sum:
+	// a map-order float fold is nondeterministic in its last bits.
+	labels := make([]int, 0, len(counts))
+	for k := range counts {
+		labels = append(labels, k)
+	}
+	sort.Ints(labels)
 	var h float64
 	fn := float64(n)
-	for _, c := range counts {
-		p := float64(c) / fn
+	for _, l := range labels {
+		p := float64(counts[l]) / fn
 		h -= p * math.Log(p)
 	}
 	return h

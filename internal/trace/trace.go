@@ -110,15 +110,17 @@ func (t *Timeline) RenderASCII(width int) string {
 	}
 	phases := t.Phases()
 	glyph := map[string]byte{}
+	var taken [256]bool
 	legend := make([]string, 0, len(phases))
 	for i, name := range phases {
 		g := byte('A' + i%26)
 		if len(name) > 0 {
 			g = name[0] | 0x20 // lower-case first letter when unique
 		}
-		if _, taken := glyphTaken(glyph, g); taken {
+		if taken[g] {
 			g = byte('A' + i%26)
 		}
+		taken[g] = true
 		glyph[name] = g
 		legend = append(legend, fmt.Sprintf("%c=%s", g, name))
 	}
@@ -136,26 +138,20 @@ func (t *Timeline) RenderASCII(width int) string {
 	for c := 0; c < width; c++ {
 		row[c] = '.'
 		var best string
-		var bestCy int64 = -1
-		for name, cy := range owner[c] {
-			if cy > bestCy {
+		var bestCy int64
+		// Scan candidates in the fixed Phases() order rather than ranging
+		// owner[c]: ties on cycle count would otherwise resolve by map
+		// order and redraw differently run to run.
+		for _, name := range phases {
+			if cy := owner[c][name]; cy > bestCy {
 				best, bestCy = name, cy
 			}
 		}
-		if bestCy >= 0 {
+		if bestCy > 0 {
 			row[c] = glyph[best]
 		}
 	}
 	return string(row) + "\n" + strings.Join(legend, " ") + "\n"
-}
-
-func glyphTaken(m map[string]byte, g byte) (string, bool) {
-	for name, have := range m {
-		if have == g {
-			return name, true
-		}
-	}
-	return "", false
 }
 
 // WriteVCD emits the timeline as a Value Change Dump: one 1-bit signal per
