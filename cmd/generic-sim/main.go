@@ -8,6 +8,8 @@
 //	generic-sim -dataset EEG                  # train + infer, report energy
 //	generic-sim -dataset ISOLET -bw 4 -ber 0.01
 //	generic-sim -dataset Hepta -mode cluster
+//	generic-sim -dataset ISOLET -fault-site class -fault-rate 0.01 -scrub
+//	generic-sim -dataset ISOLET -fault-site class -fault-model bank -fault-lane 3 -scrub
 package main
 
 import (
@@ -29,9 +31,19 @@ func main() {
 		mode   = flag.String("mode", "train", "train | infer | cluster")
 		limit  = flag.Int("limit", 200, "max training inputs to simulate")
 		vcd    = flag.String("trace", "", "write an activity VCD waveform to this file and print the utilization timeline")
+
+		fSite  = flag.String("fault-site", "", "inject faults into this memory before inference: class | level | id | norm | input | datapath")
+		fModel = flag.String("fault-model", "uniform", "fault model: uniform | stuck0 | stuck1 | burst | bank")
+		fRate  = flag.Float64("fault-rate", 0.01, "per-bit corruption probability (per-row for burst)")
+		fBurst = flag.Int("fault-burst", 0, "burst length in bits (burst model; 0 means 8)")
+		fLane  = flag.Int("fault-lane", 0, "dead bank index in [0,16) (bank model)")
+		fSeed  = flag.Uint64("fault-seed", 0xfa, "fault-process seed (same seed, same spec: bit-identical corruption)")
+		scrub  = flag.Bool("scrub", false, "run the detection-and-repair pass after fault injection")
 	)
 	flag.Parse()
 	traceFile = *vcd
+	faultSpec = parseFaultFlags(*fSite, *fModel, *fRate, *fBurst, *fLane, *fSeed)
+	scrubAfter = *scrub
 
 	switch *mode {
 	case "train", "infer":
@@ -53,6 +65,51 @@ func fail(err error) {
 // accelerator when set, and dumpTrace writes the VCD and prints the
 // utilization summary.
 var traceFile string
+
+// faultSpec holds the parsed -fault-* flags (nil when -fault-site is unset);
+// scrubAfter mirrors -scrub.
+var (
+	faultSpec  *generic.FaultSpec
+	scrubAfter bool
+)
+
+func parseFaultFlags(site, model string, rate float64, burst, lane int, seed uint64) *generic.FaultSpec {
+	if site == "" {
+		return nil
+	}
+	s, err := generic.ParseFaultSite(site)
+	if err != nil {
+		fail(err)
+	}
+	k, err := generic.ParseFaultModel(model)
+	if err != nil {
+		fail(err)
+	}
+	spec := generic.FaultSpec{Site: s, Kind: k, Rate: rate, Burst: burst, Lane: lane, Seed: seed}
+	if err := spec.Validate(); err != nil {
+		fail(err)
+	}
+	return &spec
+}
+
+// applyFaults injects the -fault-* spec into the trained accelerator —
+// persistent sites corrupt stored state now, transient sites arm an ongoing
+// process for the inference pass — then optionally scrubs and reports the
+// fault-layer health.
+func applyFaults(acc *generic.Accelerator) {
+	if faultSpec == nil {
+		return
+	}
+	n, err := acc.InjectFaults(*faultSpec)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("fault: injected %s (%d bits changed)\n", faultSpec, n)
+	if scrubAfter {
+		fmt.Printf("fault: %s\n", acc.Scrub())
+	}
+	fmt.Printf("fault: health %s\n", acc.Health())
+}
 
 func attachTrace(acc *generic.Accelerator) *generic.ActivityTimeline {
 	if traceFile == "" {
@@ -114,6 +171,10 @@ func runClassification(name string, d, epochs int, seed uint64, bw int, ber floa
 		tl.Reset()
 	}
 
+	// Faults are injected into the trained state, so the inference pass (and
+	// its energy report) sees the corrupted — or scrubbed — accelerator.
+	applyFaults(acc)
+
 	preds := acc.InferAll(ds.TestX)
 	correct := 0
 	for i, p := range preds {
@@ -123,7 +184,10 @@ func runClassification(name string, d, epochs int, seed uint64, bw int, ber floa
 	}
 	inferStats := acc.Stats()
 
-	pcfg := generic.PowerConfig{ActiveBankFrac: spec.ActiveBankFrac(), BW: bw}
+	pcfg := generic.PowerConfig{
+		ActiveBankFrac: spec.ActiveBankFrac(), BW: bw,
+		MaskedLanes: acc.MaskedLanes(),
+	}
 	if ber > 0 {
 		pcfg.VOS = generic.VOSForBER(ber)
 	}

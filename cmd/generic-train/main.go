@@ -25,6 +25,15 @@ var kinds = map[string]generic.EncodingKind{
 	"permute": generic.Permute, "generic": generic.Generic,
 }
 
+// must unwraps (value, error) results from the trained-pipeline API.
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generic-train:", err)
+		os.Exit(1)
+	}
+	return v
+}
+
 func main() {
 	var (
 		name    = flag.String("dataset", "EEG", "benchmark ("+strings.Join(generic.Datasets(), ",")+")")
@@ -56,7 +65,7 @@ func main() {
 		}
 		fmt.Printf("loaded pipeline from %s (D=%d, %d classes, %d-bit)\n",
 			*load, p.Model().D(), p.Model().Classes(), p.Model().BW())
-		fmt.Printf("test accuracy: %.2f%%\n", 100*p.AccuracyWorkers(ds.TestX, ds.TestY, *workers))
+		fmt.Printf("test accuracy: %.2f%%\n", 100*must(p.AccuracyWorkers(ds.TestX, ds.TestY, *workers)))
 		return
 	}
 
@@ -89,17 +98,20 @@ func main() {
 	left := p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: *epochs, Seed: *seed, Workers: *workers})
 	fmt.Printf("trained %s/%s D=%d in %.1fs (final-epoch updates: %d)\n",
 		*kind, ds.Name, *d, time.Since(start).Seconds(), left)
-	fmt.Printf("train accuracy: %.2f%%\n", 100*p.AccuracyWorkers(ds.TrainX, ds.TrainY, *workers))
-	fmt.Printf("test accuracy:  %.2f%%\n", 100*p.AccuracyWorkers(ds.TestX, ds.TestY, *workers))
+	fmt.Printf("train accuracy: %.2f%%\n", 100*must(p.AccuracyWorkers(ds.TrainX, ds.TrainY, *workers)))
+	fmt.Printf("test accuracy:  %.2f%%\n", 100*must(p.AccuracyWorkers(ds.TestX, ds.TestY, *workers)))
 
 	if *bw > 0 {
-		p.Quantize(*bw)
-		fmt.Printf("test accuracy @ %d-bit model: %.2f%%\n", *bw, 100*p.AccuracyWorkers(ds.TestX, ds.TestY, *workers))
+		if err := p.Quantize(*bw); err != nil {
+			fmt.Fprintln(os.Stderr, "generic-train:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("test accuracy @ %d-bit model: %.2f%%\n", *bw, 100*must(p.AccuracyWorkers(ds.TestX, ds.TestY, *workers)))
 	}
 	if *dims > 0 {
 		correct := 0
 		for i, x := range ds.TestX {
-			if p.PredictReduced(x, *dims) == ds.TestY[i] {
+			if must(p.PredictReduced(x, *dims)) == ds.TestY[i] {
 				correct++
 			}
 		}

@@ -29,7 +29,8 @@ func ExamplePipeline() {
 
 	query := make([]float64, 16)
 	query[9], query[10] = 1, 1 // pulse in the second half
-	fmt.Println(p.Predict(query))
+	label, _ := p.Predict(query)
+	fmt.Println(label)
 	// Output: 1
 }
 

@@ -19,6 +19,14 @@ import (
 	generic "github.com/edge-hdc/generic"
 )
 
+// must unwraps (value, error) results from the trained-pipeline API.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
 	ds, err := generic.LoadDataset("PAMAP2", 11)
 	if err != nil {
@@ -32,7 +40,7 @@ func main() {
 	// Deploy a model trained on the original sensor placement.
 	p := generic.NewPipeline(enc, ds.Classes)
 	p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: 10, Seed: 11})
-	fmt.Printf("deployed accuracy: %.1f%%\n", 100*p.Accuracy(ds.TestX, ds.TestY))
+	fmt.Printf("deployed accuracy: %.1f%%\n", 100*must(p.Accuracy(ds.TestX, ds.TestY)))
 
 	// The placement changes: simulate drift by negating and re-biasing the
 	// signal (what flipping a body-worn IMU does to its axes).
@@ -48,18 +56,22 @@ func main() {
 		driftedTest[i] = drift(x)
 	}
 	fmt.Printf("after drift, before adaptation: %.1f%%\n",
-		100*p.Accuracy(driftedTest, ds.TestY))
+		100*must(p.Accuracy(driftedTest, ds.TestY)))
 
 	// Online recovery: the gateway receives labelled feedback and adapts
 	// one sample at a time.
 	for epoch := 0; epoch < 3; epoch++ {
 		updates := 0
 		for i, x := range ds.TrainX {
-			if _, up := p.Adapt(drift(x), ds.TrainY[i]); up {
+			_, up, err := p.Adapt(drift(x), ds.TrainY[i])
+			if err != nil {
+				log.Fatal(err)
+			}
+			if up {
 				updates++
 			}
 		}
 		fmt.Printf("adaptation epoch %d: %d/%d updates, drifted accuracy now %.1f%%\n",
-			epoch+1, updates, len(ds.TrainX), 100*p.Accuracy(driftedTest, ds.TestY))
+			epoch+1, updates, len(ds.TrainX), 100*must(p.Accuracy(driftedTest, ds.TestY)))
 	}
 }

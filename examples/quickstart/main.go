@@ -56,15 +56,26 @@ func main() {
 	p := generic.NewPipeline(enc, 2)
 	p.Fit(trainX, trainY, generic.TrainOptions{Epochs: 10, Seed: 42})
 
-	// 3. Predict.
-	fmt.Printf("test accuracy: %.1f%%\n", 100*p.Accuracy(testX, testY))
+	// 3. Predict. The trained-pipeline API returns errors (a pipeline used
+	//    before Fit reports generic.ErrNotTrained).
+	acc, err := p.Accuracy(testX, testY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test accuracy: %.1f%%\n", 100*acc)
 
 	// 4. Edge deployments can trade accuracy for energy on demand:
 	//    quantize the model to 4-bit classes and halve the dimensions.
-	p.Quantize(4)
+	if err := p.Quantize(4); err != nil {
+		log.Fatal(err)
+	}
 	correct := 0
 	for i, x := range testX {
-		if p.PredictReduced(x, 1024) == testY[i] {
+		pred, err := p.PredictReduced(x, 1024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pred == testY[i] {
 			correct++
 		}
 	}

@@ -36,7 +36,11 @@ func main() {
 		}
 		p := generic.NewPipeline(enc, ds.Classes)
 		p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: 20, Seed: 7})
-		fmt.Printf("%-8v test accuracy: %.1f%%\n", kind, 100*p.Accuracy(ds.TestX, ds.TestY))
+		acc, err := p.Accuracy(ds.TestX, ds.TestY)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8v test accuracy: %.1f%%\n", kind, 100*acc)
 	}
 
 	// Deploy on the accelerator: train on-device, then measure the energy

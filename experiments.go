@@ -21,7 +21,7 @@ func QuickExperimentConfig() ExperimentConfig   { return experiments.QuickConfig
 // (window length n=3, per-window id binding, 64 level bins).
 var experimentOrder = []string{
 	"table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "fig10",
-	"ablation-n", "ablation-id", "ablation-bins", "gating", "epochs",
+	"ablation-n", "ablation-id", "ablation-bins", "gating", "epochs", "resilience",
 }
 
 // Experiments returns the ids accepted by RunExperiment, in paper order.
@@ -63,6 +63,8 @@ func RunExperiment(id string, cfg ExperimentConfig) (fmt.Stringer, error) {
 		return experiments.PowerGating(cfg)
 	case "epochs":
 		return experiments.EpochSaturation(cfg)
+	case "resilience":
+		return experiments.Resilience(cfg)
 	}
 	return nil, fmt.Errorf("generic: unknown experiment %q (known: %v)", id, experimentOrder)
 }

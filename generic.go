@@ -25,13 +25,14 @@
 //	})
 //	p := generic.NewPipeline(enc, nClasses)
 //	p.Fit(trainX, trainY, generic.TrainOptions{Epochs: 20})
-//	label := p.Predict(x)
+//	label, err := p.Predict(x)
 //
 // See the examples directory for runnable end-to-end scenarios and
 // EXPERIMENTS.md for the paper-versus-measured record.
 package generic
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -39,12 +40,17 @@ import (
 	"github.com/edge-hdc/generic/internal/cluster"
 	"github.com/edge-hdc/generic/internal/dataset"
 	"github.com/edge-hdc/generic/internal/encoding"
+	"github.com/edge-hdc/generic/internal/faults"
 	"github.com/edge-hdc/generic/internal/hdc"
 	"github.com/edge-hdc/generic/internal/metrics"
 	"github.com/edge-hdc/generic/internal/power"
 	"github.com/edge-hdc/generic/internal/sim"
 	"github.com/edge-hdc/generic/internal/trace"
 )
+
+// ErrNotTrained is returned (wrapped) by pipeline entry points used before
+// Fit (or before loading a trained model).
+var ErrNotTrained = errors.New("generic: pipeline used before Fit")
 
 // EncodingKind selects an HDC encoding family.
 type EncodingKind = encoding.Kind
@@ -127,10 +133,17 @@ type Pipeline struct {
 	model   *Model
 	classes int
 	// states pools per-goroutine (encoder clone, scratch) pairs so Predict
-	// is safe and allocation-free under concurrency. Clones are built from
-	// enc's configuration and carry identical hypervector material, so
-	// every state produces bit-identical encodings.
-	states sync.Pool
+	// is safe and allocation-free under concurrency. Clones carry a
+	// bit-exact copy of enc's current hypervector material (including any
+	// injected faults), so every state produces bit-identical encodings.
+	// The pool is replaced wholesale whenever the primary encoder's
+	// material changes (fault injection, scrub) to drop stale clones.
+	states *sync.Pool
+	// faultCtl manages persistent fault state (lazily built; see
+	// InjectFaults). hasChecksum records whether a loaded model file
+	// carried an integrity footer.
+	faultCtl    *faults.Controller
+	hasChecksum bool
 }
 
 // pipeState is the per-goroutine working set of a Pipeline: an encoder
@@ -143,13 +156,27 @@ type pipeState struct {
 // NewPipeline creates an untrained pipeline for the given class count.
 func NewPipeline(enc Encoder, classes int) *Pipeline {
 	p := &Pipeline{enc: enc, classes: classes}
-	p.states.New = func() any {
-		return &pipeState{enc: encoding.MustNew(enc.Kind(), enc.Config()), scratch: hdc.NewVec(enc.D())}
-	}
+	p.resetStates()
+	return p
+}
+
+// resetStates installs a fresh state pool. Clones prefer CloneMaterial (a
+// bit-exact copy of the primary encoder's current material) so concurrent
+// prediction observes injected faults; foreign encoders rebuild from their
+// configuration. Called whenever pooled clones would go stale.
+func (p *Pipeline) resetStates() {
+	p.states = &sync.Pool{New: func() any {
+		var clone Encoder
+		if mc, ok := p.enc.(encoding.MaterialCloner); ok {
+			clone = mc.CloneMaterial()
+		} else {
+			clone = encoding.MustNew(p.enc.Kind(), p.enc.Config())
+		}
+		return &pipeState{enc: clone, scratch: hdc.NewVec(p.enc.D())}
+	}}
 	// Seed the pool with the primary encoder so single-goroutine use never
 	// builds a clone.
-	p.states.Put(&pipeState{enc: enc, scratch: hdc.NewVec(enc.D())})
-	return p
+	p.states.Put(&pipeState{enc: p.enc, scratch: hdc.NewVec(p.enc.D())})
 }
 
 // Encoder returns the pipeline's encoder; Model its trained model (nil
@@ -167,39 +194,48 @@ func (p *Pipeline) Fit(X [][]float64, Y []int, opt TrainOptions) int {
 	encoded := encoding.EncodeAllWorkers(p.enc, X, opt.Workers)
 	m, last := classifier.TrainEncoded(encoded, Y, p.classes, opt)
 	p.model = m
+	// A fault controller (if any) holds the replaced model; its guard and
+	// mask state no longer apply.
+	p.faultCtl = nil
 	return last
 }
 
 // Predict classifies one input. Safe for concurrent use on a trained
-// pipeline.
-func (p *Pipeline) Predict(x []float64) int {
-	p.mustBeTrained()
+// pipeline. It returns ErrNotTrained (wrapped) before Fit.
+func (p *Pipeline) Predict(x []float64) (int, error) {
+	if err := p.trained("Predict"); err != nil {
+		return 0, err
+	}
 	st := p.states.Get().(*pipeState)
 	st.enc.Encode(x, st.scratch)
 	c, _ := p.model.Predict(st.scratch)
 	p.states.Put(st)
-	return c
+	return c, nil
 }
 
 // PredictBatch classifies a batch of inputs across workers workers (≤ 0
 // means GOMAXPROCS, 1 is serial), returning predictions in input order —
 // bit-identical to calling Predict per input.
-func (p *Pipeline) PredictBatch(X [][]float64, workers int) []int {
-	p.mustBeTrained()
+func (p *Pipeline) PredictBatch(X [][]float64, workers int) ([]int, error) {
+	if err := p.trained("PredictBatch"); err != nil {
+		return nil, err
+	}
 	encoded := encoding.EncodeAllWorkers(p.enc, X, workers)
-	return p.model.PredictBatch(encoded, workers)
+	return p.model.PredictBatch(encoded, workers), nil
 }
 
 // PredictReduced classifies using only the first dims dimensions with the
 // updated sub-norms — the accelerator's on-demand dimension reduction.
 // Safe for concurrent use on a trained pipeline.
-func (p *Pipeline) PredictReduced(x []float64, dims int) int {
-	p.mustBeTrained()
+func (p *Pipeline) PredictReduced(x []float64, dims int) (int, error) {
+	if err := p.trained("PredictReduced"); err != nil {
+		return 0, err
+	}
 	st := p.states.Get().(*pipeState)
 	st.enc.Encode(x, st.scratch)
 	c, _ := p.model.PredictDims(st.scratch, dims, true)
 	p.states.Put(st)
-	return c
+	return c, nil
 }
 
 // Adapt performs one online-learning step: classify x and, when the
@@ -207,17 +243,22 @@ func (p *Pipeline) PredictReduced(x []float64, dims int) int {
 // the pre-update prediction and whether the model changed — the streaming
 // lifelong-learning path of the paper's IoT-gateway scenario. Adapt mutates
 // the model and therefore requires exclusive access.
-func (p *Pipeline) Adapt(x []float64, label int) (pred int, updated bool) {
-	p.mustBeTrained()
+func (p *Pipeline) Adapt(x []float64, label int) (pred int, updated bool, err error) {
+	if err := p.trained("Adapt"); err != nil {
+		return 0, false, err
+	}
 	st := p.states.Get().(*pipeState)
 	st.enc.Encode(x, st.scratch)
 	pred, updated = p.model.Adapt(st.scratch, label)
 	p.states.Put(st)
-	return pred, updated
+	if updated {
+		p.invalidateGuard()
+	}
+	return pred, updated, nil
 }
 
 // Accuracy scores the pipeline on a labelled set.
-func (p *Pipeline) Accuracy(X [][]float64, Y []int) float64 {
+func (p *Pipeline) Accuracy(X [][]float64, Y []int) (float64, error) {
 	return p.AccuracyWorkers(X, Y, 1)
 }
 
@@ -230,10 +271,12 @@ const accuracyBlock = 2048
 // scoring fanned across workers workers (≤ 0 means GOMAXPROCS). Samples
 // stream through in bounded blocks; the result is bit-identical to
 // Accuracy.
-func (p *Pipeline) AccuracyWorkers(X [][]float64, Y []int, workers int) float64 {
-	p.mustBeTrained()
+func (p *Pipeline) AccuracyWorkers(X [][]float64, Y []int, workers int) (float64, error) {
+	if err := p.trained("AccuracyWorkers"); err != nil {
+		return 0, err
+	}
 	if len(X) == 0 {
-		return 0
+		return 0, nil
 	}
 	correct := 0
 	for lo := 0; lo < len(X); lo += accuracyBlock {
@@ -249,19 +292,131 @@ func (p *Pipeline) AccuracyWorkers(X [][]float64, Y []int, workers int) float64 
 			}
 		}
 	}
-	return float64(correct) / float64(len(X))
+	return float64(correct) / float64(len(X)), nil
 }
 
 // Quantize reduces the model's class bit-width (the accelerator's bw input).
-func (p *Pipeline) Quantize(bw int) {
-	p.mustBeTrained()
+func (p *Pipeline) Quantize(bw int) error {
+	if err := p.trained("Quantize"); err != nil {
+		return err
+	}
 	p.model.Quantize(bw)
+	p.invalidateGuard()
+	return nil
 }
 
-func (p *Pipeline) mustBeTrained() {
+// trained guards the exported entry points: using a pipeline before Fit is
+// a caller error reported as a wrapped ErrNotTrained, not a panic (panics
+// remain reserved for internal invariants).
+func (p *Pipeline) trained(op string) error {
 	if p.model == nil {
-		panic("generic: pipeline used before Fit")
+		return fmt.Errorf("generic: %s: %w", op, ErrNotTrained)
 	}
+	return nil
+}
+
+// invalidateGuard drops the fault controller's class-memory CRC reference
+// after a legitimate model mutation.
+func (p *Pipeline) invalidateGuard() {
+	if p.faultCtl != nil {
+		p.faultCtl.InvalidateGuard()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection & self-repair (see internal/faults).
+
+// FaultSpec describes one reproducible fault process; FaultSite selects the
+// targeted Fig. 4 memory and FaultModel the corruption model.
+type FaultSpec = faults.Spec
+
+// FaultSite identifies an accelerator memory.
+type FaultSite = faults.Site
+
+// The injectable fault sites. Input and datapath faults are transient and
+// only exist on the Accelerator (the software pipeline has no input memory
+// or adder tree).
+const (
+	FaultSiteClass = faults.SiteClass
+	FaultSiteLevel = faults.SiteLevel
+	FaultSiteID    = faults.SiteID
+	FaultSiteNorm  = faults.SiteNorm
+	FaultSiteInput = faults.SiteInput
+	FaultSiteDP    = faults.SiteDatapath
+)
+
+// FaultModel selects a corruption model.
+type FaultModel = faults.Kind
+
+// The fault models.
+const (
+	FaultUniform  = faults.Uniform
+	FaultStuckAt0 = faults.StuckAt0
+	FaultStuckAt1 = faults.StuckAt1
+	FaultBurst    = faults.Burst
+	FaultBankFail = faults.BankFail
+)
+
+// FaultHealth summarizes injected-fault state; FaultScrubReport one
+// scrub-and-repair pass.
+type FaultHealth = faults.Health
+
+// FaultScrubReport summarizes a Scrub pass.
+type FaultScrubReport = faults.ScrubReport
+
+// ParseFaultSite and ParseFaultModel parse the CLI names ("class", "level",
+// …; "uniform", "stuck0", …).
+func ParseFaultSite(s string) (FaultSite, error)   { return faults.ParseSite(s) }
+func ParseFaultModel(s string) (FaultModel, error) { return faults.ParseKind(s) }
+
+// faultController lazily builds the pipeline's fault controller.
+func (p *Pipeline) faultController() *faults.Controller {
+	if p.faultCtl == nil {
+		p.faultCtl = faults.NewController(p.model, p.enc)
+	}
+	return p.faultCtl
+}
+
+// InjectFaults applies one persistent fault spec (class, level, id, or norm
+// site) to the trained pipeline and returns the number of bits changed.
+// Same spec, same state ⇒ bit-identical corruption. Input/datapath sites
+// are transient and only exist on the Accelerator. Requires exclusive
+// access, like Fit.
+func (p *Pipeline) InjectFaults(spec FaultSpec) (int, error) {
+	if err := p.trained("InjectFaults"); err != nil {
+		return 0, err
+	}
+	n, err := p.faultController().Inject(spec)
+	if err != nil {
+		return n, err
+	}
+	if spec.Site == faults.SiteLevel || spec.Site == faults.SiteID {
+		// Pooled encoder clones predate the corruption; rebuild them from
+		// the primary encoder's now-corrupted material.
+		p.resetStates()
+	}
+	return n, nil
+}
+
+// Scrub runs the detection-and-repair pass: level/id material regenerates
+// from the stored seed, CRC-guarded class memory masks dead lanes and
+// quarantines unrecoverable rows, and norms are recomputed. See
+// FaultScrubReport for what was repaired.
+func (p *Pipeline) Scrub() (FaultScrubReport, error) {
+	if err := p.trained("Scrub"); err != nil {
+		return FaultScrubReport{}, err
+	}
+	rep := p.faultController().Scrub()
+	p.resetStates()
+	return rep, nil
+}
+
+// Health reports the pipeline's current fault state.
+func (p *Pipeline) Health() (FaultHealth, error) {
+	if err := p.trained("Health"); err != nil {
+		return FaultHealth{}, err
+	}
+	return p.faultController().Health(), nil
 }
 
 // ClusterResult is the outcome of HDC clustering.

@@ -1,11 +1,22 @@
 package generic_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	generic "github.com/edge-hdc/generic"
 )
+
+// must unwraps a (value, error) pair from the trained-pipeline API. A
+// non-nil error is a test bug, so it fails loudly via panic (Go forbids
+// passing a multi-value call alongside a *testing.T argument).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 func trainXor(t *testing.T) (*generic.Pipeline, [][]float64, []int) {
 	t.Helper()
@@ -40,7 +51,7 @@ func trainXor(t *testing.T) (*generic.Pipeline, [][]float64, []int) {
 
 func TestPipelineEndToEnd(t *testing.T) {
 	p, X, Y := trainXor(t)
-	if acc := p.Accuracy(X, Y); acc < 0.99 {
+	if acc := must(p.Accuracy(X, Y)); acc < 0.99 {
 		t.Errorf("pipeline accuracy = %.3f on a separable problem", acc)
 	}
 	if p.Model() == nil || p.Encoder() == nil {
@@ -52,30 +63,50 @@ func TestPipelineReducedAndQuantized(t *testing.T) {
 	p, X, Y := trainXor(t)
 	correct := 0
 	for i, x := range X {
-		if p.PredictReduced(x, 256) == Y[i] {
+		if must(p.PredictReduced(x, 256)) == Y[i] {
 			correct++
 		}
 	}
 	if frac := float64(correct) / float64(len(X)); frac < 0.95 {
 		t.Errorf("reduced-dimension accuracy = %.3f", frac)
 	}
-	p.Quantize(4)
-	if acc := p.Accuracy(X, Y); acc < 0.95 {
+	if err := p.Quantize(4); err != nil {
+		t.Fatal(err)
+	}
+	if acc := must(p.Accuracy(X, Y)); acc < 0.95 {
 		t.Errorf("4-bit accuracy = %.3f", acc)
 	}
 }
 
-func TestPipelinePanicsBeforeFit(t *testing.T) {
+func TestPipelineErrorsBeforeFit(t *testing.T) {
 	enc, _ := generic.NewEncoder(generic.LevelID, generic.EncoderConfig{
 		D: 256, Features: 4, Lo: 0, Hi: 1, Seed: 1,
 	})
 	p := generic.NewPipeline(enc, 2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Predict before Fit did not panic")
-		}
-	}()
-	p.Predict([]float64{0, 0, 0, 0})
+	if _, err := p.Predict([]float64{0, 0, 0, 0}); !errors.Is(err, generic.ErrNotTrained) {
+		t.Errorf("Predict before Fit: err = %v, want ErrNotTrained", err)
+	}
+	if _, err := p.PredictBatch([][]float64{{0, 0, 0, 0}}, 0); !errors.Is(err, generic.ErrNotTrained) {
+		t.Errorf("PredictBatch before Fit: err = %v, want ErrNotTrained", err)
+	}
+	if _, err := p.PredictReduced([]float64{0, 0, 0, 0}, 128); !errors.Is(err, generic.ErrNotTrained) {
+		t.Errorf("PredictReduced before Fit: err = %v, want ErrNotTrained", err)
+	}
+	if _, _, err := p.Adapt([]float64{0, 0, 0, 0}, 0); !errors.Is(err, generic.ErrNotTrained) {
+		t.Errorf("Adapt before Fit: err = %v, want ErrNotTrained", err)
+	}
+	if _, err := p.Accuracy([][]float64{{0, 0, 0, 0}}, []int{0}); !errors.Is(err, generic.ErrNotTrained) {
+		t.Errorf("Accuracy before Fit: err = %v, want ErrNotTrained", err)
+	}
+	if err := p.Quantize(4); !errors.Is(err, generic.ErrNotTrained) {
+		t.Errorf("Quantize before Fit: err = %v, want ErrNotTrained", err)
+	}
+	if _, err := p.InjectFaults(generic.FaultSpec{Site: generic.FaultSiteClass, Kind: generic.FaultUniform, Rate: 0.01}); !errors.Is(err, generic.ErrNotTrained) {
+		t.Errorf("InjectFaults before Fit: err = %v, want ErrNotTrained", err)
+	}
+	if _, err := p.Scrub(); !errors.Is(err, generic.ErrNotTrained) {
+		t.Errorf("Scrub before Fit: err = %v, want ErrNotTrained", err)
+	}
 }
 
 func TestTrainOnEncoded(t *testing.T) {
@@ -188,7 +219,7 @@ func TestRunExperimentDispatch(t *testing.T) {
 	if !strings.Contains(res.String(), "class mem") {
 		t.Error("fig7 rendering incomplete")
 	}
-	if len(generic.Experiments()) != 14 {
-		t.Errorf("Experiments() = %d ids, want 14", len(generic.Experiments()))
+	if len(generic.Experiments()) != 15 {
+		t.Errorf("Experiments() = %d ids, want 15", len(generic.Experiments()))
 	}
 }

@@ -45,7 +45,7 @@ func TestGenericPipelineFloorsAllBenchmarks(t *testing.T) {
 			}
 			p := generic.NewPipeline(enc, ds.Classes)
 			p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: 5, Seed: 1})
-			acc := p.Accuracy(ds.TestX, ds.TestY)
+			acc := must(p.Accuracy(ds.TestX, ds.TestY))
 			if floor := accuracyFloor[name]; acc < floor {
 				t.Errorf("%s: accuracy %.3f below floor %.2f", name, acc, floor)
 			}
@@ -107,7 +107,7 @@ func TestAcceleratorMatchesPipelineAcrossBenchmarks(t *testing.T) {
 		}
 		p := generic.NewPipeline(enc, ds.Classes)
 		p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: 5, Seed: 1})
-		sw := p.Accuracy(ds.TestX, ds.TestY)
+		sw := must(p.Accuracy(ds.TestX, ds.TestY))
 
 		spec := generic.Spec{
 			D: 1024, Features: ds.Features, N: 3, Classes: ds.Classes,

@@ -20,9 +20,16 @@ import (
 //   - ranging over a map — Go randomizes map iteration order per run, so
 //     any order-sensitive fold (float accumulation, first/best-wins
 //     selection, output row order) becomes nondeterministic.
+//
+// Additionally, fault injectors are model-state code with a stricter rule:
+// a function that threads an explicit *rng.Rand (the Injector.Apply shape)
+// must draw every random bit from that generator. Calling rng.New inside
+// such a function forks a private stream, so composed injections stop being
+// a pure function of the caller's Spec.Seed even though each piece looks
+// deterministic in isolation.
 var DetRand = &Analyzer{
 	Name: "detrand",
-	Doc:  "ban math/rand, time.Now, and map-range iteration in model-state code under internal/",
+	Doc:  "ban math/rand, time.Now, map-range iteration, and private rng streams in model-state code under internal/",
 	Run:  runDetRand,
 }
 
@@ -52,10 +59,80 @@ func runDetRand(pass *Pass) {
 						pass.Reportf(n.Pos(), "map iteration order is randomized per run: range over a sorted or fixed key order (collect keys with `for k := range m { keys = append(keys, k) }`, sort, then iterate)")
 					}
 				}
+			case *ast.FuncDecl:
+				if n.Body != nil && takesRngRand(pass.Info, n.Type) {
+					checkInjectorBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				if takesRngRand(pass.Info, n.Type) {
+					checkInjectorBody(pass, n.Body)
+				}
 			}
 			return true
 		})
 	}
+}
+
+// takesRngRand reports whether the function signature threads an explicit
+// *rng.Rand parameter — the fault-injector shape (Injector.Apply and the
+// helpers it fans into).
+func takesRngRand(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isRngRandPtr(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRngRandPtr matches *rng.Rand from the module's internal/rng package.
+func isRngRandPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Rand" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pathHasSuffix(pkg.Path(), "internal/rng")
+}
+
+// checkInjectorBody flags rng.New calls inside a function that already
+// receives a *rng.Rand. Nested function literals with their own *rng.Rand
+// parameter are skipped — the outer traversal visits them as injectors in
+// their own right.
+func checkInjectorBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if takesRngRand(pass.Info, n.Type) {
+				return false
+			}
+		case *ast.CallExpr:
+			if isRngNew(pass.Info, n.Fun) {
+				pass.Reportf(n.Pos(), "rng.New inside a fault injector: draw all randomness from the *rng.Rand parameter — a private generator forks the stream and breaks bit-reproducibility of composed injections")
+			}
+		}
+		return true
+	})
+}
+
+// isRngNew matches calls to the module rng package's constructor.
+func isRngNew(info *types.Info, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "New" || fn.Pkg() == nil {
+		return false
+	}
+	return pathHasSuffix(fn.Pkg().Path(), "internal/rng")
 }
 
 // isKeyCollect recognizes the one sanctioned map-range idiom — gathering the

@@ -1,0 +1,77 @@
+// Package inj is a golden fixture for the generic/detrand injector rule: a
+// function that threads an explicit *rng.Rand (the fault-injector shape)
+// must draw every random bit from it. It seeds private-stream violations
+// plus the sanctioned patterns that must stay silent.
+package inj
+
+import (
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+// Mem mirrors the faults.Mem memory shape.
+type Mem interface {
+	Rows() int
+	Bit(row, cell, b int) int
+	SetBit(row, cell, b, v int)
+}
+
+// ForkedStream builds a private generator instead of drawing from the
+// threaded one: flagged.
+func ForkedStream(mem Mem, r *rng.Rand) int {
+	local := rng.New(42) // want generic/detrand
+	flipped := 0
+	for row := 0; row < mem.Rows(); row++ {
+		if local.Float64() < 0.5 {
+			mem.SetBit(row, 0, 0, 1-mem.Bit(row, 0, 0))
+			flipped++
+		}
+	}
+	return flipped
+}
+
+// ClosureFork forks inside a helper closure of an injector: still flagged.
+func ClosureFork(mem Mem, r *rng.Rand) {
+	flip := func(row int) {
+		if rng.New(uint64(row)).Bool() { // want generic/detrand
+			mem.SetBit(row, 0, 0, 1)
+		}
+	}
+	for row := 0; row < mem.Rows(); row++ {
+		flip(row)
+	}
+}
+
+// ThreadedStream draws from the supplied generator: allowed.
+func ThreadedStream(mem Mem, r *rng.Rand) int {
+	flipped := 0
+	for row := 0; row < mem.Rows(); row++ {
+		if r.Float64() < 0.5 {
+			mem.SetBit(row, 0, 0, 1-mem.Bit(row, 0, 0))
+			flipped++
+		}
+	}
+	return flipped
+}
+
+// Seeded is not an injector — it owns the seed and builds the stream the
+// injectors consume (the Controller.Inject shape): allowed.
+func Seeded(mem Mem, seed uint64) int {
+	return ThreadedStream(mem, rng.New(seed))
+}
+
+// NestedInjector declares an inner injector-shaped literal: the inner
+// literal's fork is attributed once, to the literal itself.
+func NestedInjector(mem Mem, seed uint64) {
+	apply := func(m Mem, r *rng.Rand) {
+		bad := rng.New(7) // want generic/detrand
+		m.SetBit(0, 0, 0, bad.Intn(2))
+	}
+	apply(mem, rng.New(seed))
+}
+
+// SuppressedFork documents a deliberate second stream: allowed via directive.
+func SuppressedFork(mem Mem, r *rng.Rand) {
+	//lint:ignore generic/detrand defect maps are drawn from a fixed side stream so the flip stream stays aligned across kinds
+	defects := rng.New(1)
+	mem.SetBit(0, 0, 0, defects.Intn(2))
+}

@@ -93,7 +93,9 @@ func (m *Model) Classes() int { return len(m.classes) }
 func (m *Model) BW() int      { return m.bw }
 
 // Class exposes class c's hypervector. Callers must not modify it; use
-// AddEncoded/Update.
+// AddEncoded/Update. The fault layer (internal/faults) is the sanctioned
+// exception: it mutates class words in place to model memory bit errors and
+// refreshes norms afterwards.
 func (m *Model) Class(c int) hdc.Vec { return m.classes[c] }
 
 // Norm2 returns ‖C_c‖².

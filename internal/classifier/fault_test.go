@@ -1,0 +1,143 @@
+package classifier
+
+import (
+	"testing"
+
+	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+// faultModel trains a small deterministic model for fault tests.
+func faultModel(t *testing.T, bw int) *Model {
+	t.Helper()
+	const d, nC, n = 256, 4, 64
+	r := rng.New(31)
+	encoded := make([]hdc.Vec, n)
+	labels := make([]int, n)
+	for i := range encoded {
+		v := make(hdc.Vec, d)
+		c := i % nC
+		for j := range v {
+			v[j] = int32(r.Intn(3) - 1)
+			if j%nC == c {
+				v[j] += 2 // class-correlated structure
+			}
+		}
+		encoded[i] = v
+		labels[i] = c
+	}
+	m, _ := TrainEncoded(encoded, labels, nC, Options{Epochs: 2, Seed: 31})
+	if bw != m.BW() {
+		m.Quantize(bw)
+	}
+	return m
+}
+
+func classStateEqual(a, b *Model) bool {
+	for c := 0; c < a.Classes(); c++ {
+		av, bv := a.Class(c), b.Class(c)
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+		if a.Norm2(c) != b.Norm2(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// fig6Sweep is the BER grid of the paper's Fig. 6 VOS experiment.
+var fig6Sweep = []float64{1e-5, 1e-4, 1e-3, 1e-2, 5e-2, 1e-1}
+
+// The determinism contract of InjectBitErrorsSeeded: the same (ber, seed)
+// on clones of the same model corrupts them bit-identically, at every
+// bit-width and at every BER of the Fig. 6 sweep.
+func TestInjectBitErrorsSeededDeterministic(t *testing.T) {
+	for _, bw := range []int{16, 4, 1} {
+		base := faultModel(t, bw)
+		for _, ber := range fig6Sweep {
+			a, b := base.Clone(), base.Clone()
+			na := a.InjectBitErrorsSeeded(ber, 0xfa117)
+			nb := b.InjectBitErrorsSeeded(ber, 0xfa117)
+			if na != nb {
+				t.Fatalf("bw=%d ber=%g: flip counts differ (%d vs %d)", bw, ber, na, nb)
+			}
+			if !classStateEqual(a, b) {
+				t.Fatalf("bw=%d ber=%g: corrupted models diverged", bw, ber)
+			}
+		}
+	}
+}
+
+// Norms must be refreshed at every BER in the sweep: the stored norm2 after
+// injection must equal a from-scratch recompute over the corrupted vectors.
+func TestInjectBitErrorsRefreshesNorms(t *testing.T) {
+	base := faultModel(t, 16)
+	for _, ber := range fig6Sweep {
+		m := base.Clone()
+		m.InjectBitErrorsSeeded(ber, 99)
+		want := make([]int64, m.Classes())
+		for c := range want {
+			var s int64
+			for _, v := range m.Class(c) {
+				s += int64(v) * int64(v)
+			}
+			want[c] = s
+		}
+		for c := range want {
+			if got := m.Norm2(c); got != want[c] {
+				t.Fatalf("ber=%g class %d: stored norm2 %d, recomputed %d", ber, c, got, want[c])
+			}
+		}
+	}
+}
+
+func TestNorm2WordRoundTrip(t *testing.T) {
+	m := faultModel(t, 16)
+	orig := m.Norm2(1)
+	w := m.Norm2Word(1)
+	if int64(w) != orig {
+		t.Fatalf("Norm2Word = %d, want %d", w, orig)
+	}
+	m.SetNorm2Word(1, w^(1<<40))
+	if m.Norm2(1) == orig {
+		t.Fatal("SetNorm2Word did not change the stored norm")
+	}
+	m.RefreshAllNorms()
+	if m.Norm2(1) != orig {
+		t.Fatalf("RefreshAllNorms did not repair the norm: %d vs %d", m.Norm2(1), orig)
+	}
+}
+
+func TestMaskDims(t *testing.T) {
+	m := faultModel(t, 16)
+	const offset, stride = 5, 16
+	masked := m.MaskDims(offset, stride)
+	if want := m.D() / stride; masked != want {
+		t.Fatalf("masked %d dims per class, want %d", masked, want)
+	}
+	for c := 0; c < m.Classes(); c++ {
+		var want int64
+		for i, v := range m.Class(c) {
+			if i%stride == offset && v != 0 {
+				t.Fatalf("class %d dim %d survived masking", c, i)
+			}
+			want += int64(v) * int64(v)
+		}
+		if m.Norm2(c) != want {
+			t.Fatalf("class %d norm2 not refreshed after masking", c)
+		}
+	}
+	for _, bad := range [][2]int{{-1, 16}, {16, 16}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MaskDims(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			m.MaskDims(bad[0], bad[1])
+		}()
+	}
+}

@@ -209,6 +209,7 @@ func (e *rpEncoder) Encode(x []float64, out hdc.Vec) {
 type levelIDEncoder struct {
 	cfg    Config
 	levels *hdc.LevelTable
+	idGen  *hdc.IDGenerator
 	ids    []*hdc.BitVec // materialized ρ(m)(seed) per feature index
 	// scratch
 	bound *hdc.BitVec
@@ -216,19 +217,12 @@ type levelIDEncoder struct {
 }
 
 func newLevelID(cfg Config) *levelIDEncoder {
-	r := rng.New(cfg.Seed)
 	e := &levelIDEncoder{
-		cfg:    cfg,
-		levels: hdc.NewLevelTable(cfg.D, cfg.Bins, r.Split()),
-		bound:  hdc.NewBitVec(cfg.D),
-		acc:    hdc.NewAcc(cfg.D),
+		cfg:   cfg,
+		bound: hdc.NewBitVec(cfg.D),
+		acc:   hdc.NewAcc(cfg.D),
 	}
-	gen := hdc.NewIDGenerator(cfg.D, r.Split())
-	e.ids = make([]*hdc.BitVec, cfg.Features)
-	for m := range e.ids {
-		e.ids[m] = hdc.NewBitVec(cfg.D)
-		gen.ID(m, e.ids[m])
-	}
+	e.Regenerate()
 	return e
 }
 
@@ -258,13 +252,13 @@ type permuteEncoder struct {
 }
 
 func newPermute(cfg Config) *permuteEncoder {
-	r := rng.New(cfg.Seed)
-	return &permuteEncoder{
-		cfg:    cfg,
-		levels: hdc.NewLevelTable(cfg.D, cfg.Bins, r.Split()),
-		rot:    hdc.NewBitVec(cfg.D),
-		acc:    hdc.NewAcc(cfg.D),
+	e := &permuteEncoder{
+		cfg: cfg,
+		rot: hdc.NewBitVec(cfg.D),
+		acc: hdc.NewAcc(cfg.D),
 	}
+	e.Regenerate()
+	return e
 }
 
 func (e *permuteEncoder) D() int         { return e.cfg.D }
@@ -295,15 +289,14 @@ type windowedEncoder struct {
 	useID   bool
 	// rotLevels[j][bin] = ρ(j)(ℓ(bin)), precomputed for the n offsets.
 	rotLevels [][]*hdc.BitVec
-	ids       []*hdc.BitVec // per-window ids (nil when !useID)
+	idGen     *hdc.IDGenerator // nil when !useID
+	ids       []*hdc.BitVec    // per-window ids (nil when !useID)
 	quant     *hdc.LevelTable
 	win       *hdc.BitVec
 	acc       *hdc.Acc
 }
 
 func newWindowed(cfg Config, useID, generic bool) *windowedEncoder {
-	r := rng.New(cfg.Seed)
-	levels := hdc.NewLevelTable(cfg.D, cfg.Bins, r.Split())
 	e := &windowedEncoder{
 		cfg:     cfg,
 		generic: generic,
@@ -311,23 +304,7 @@ func newWindowed(cfg Config, useID, generic bool) *windowedEncoder {
 		win:     hdc.NewBitVec(cfg.D),
 		acc:     hdc.NewAcc(cfg.D),
 	}
-	e.rotLevels = make([][]*hdc.BitVec, cfg.N)
-	for j := 0; j < cfg.N; j++ {
-		e.rotLevels[j] = make([]*hdc.BitVec, cfg.Bins)
-		for b := 0; b < cfg.Bins; b++ {
-			e.rotLevels[j][b] = hdc.Rotate(levels.Level(b), j)
-		}
-	}
-	if useID {
-		gen := hdc.NewIDGenerator(cfg.D, r.Split())
-		nWin := cfg.Features - cfg.N + 1
-		e.ids = make([]*hdc.BitVec, nWin)
-		for i := range e.ids {
-			e.ids[i] = hdc.NewBitVec(cfg.D)
-			gen.ID(i, e.ids[i])
-		}
-	}
-	e.quant = levels
+	e.Regenerate()
 	return e
 }
 

@@ -28,12 +28,23 @@ func NewPool(kind Kind, cfg Config, workers int) (*Pool, error) {
 	return p, nil
 }
 
-// NewPoolFrom builds a pool of workers encoders cloned from e's kind and
-// configuration. The Config contract guarantees clones carry identical
-// hypervector material, so pool outputs are bit-identical to encoding with
-// e itself.
+// NewPoolFrom builds a pool of workers encoders cloned from e. Library
+// encoders implement MaterialCloner, so clones carry a bit-exact copy of e's
+// *current* material — including any fault-layer corruption — and pool
+// outputs are bit-identical to encoding with e itself. Foreign encoders fall
+// back to reconstruction from Kind and Config, whose contract guarantees
+// identical pristine material.
 func NewPoolFrom(e Encoder, workers int) (*Pool, error) {
-	return NewPool(e.Kind(), e.Config(), workers)
+	mc, ok := e.(MaterialCloner)
+	if !ok {
+		return NewPool(e.Kind(), e.Config(), workers)
+	}
+	workers = parallel.Workers(workers)
+	p := &Pool{}
+	for i := 0; i < workers; i++ {
+		p.encs = append(p.encs, mc.CloneMaterial())
+	}
+	return p, nil
 }
 
 // Workers reports the pool size; D the encoders' dimensionality.

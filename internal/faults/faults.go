@@ -1,0 +1,332 @@
+// Package faults is the unified fault-injection and resilience layer for
+// every memory of the GENERIC accelerator (paper Fig. 4): level memory, id
+// seed register, class memories, norm2 memory, and — through the sim — the
+// input memory and the score datapath.
+//
+// The package operationalizes the paper's robustness premise (§4.3.4):
+// level/id material is pseudorandom-from-seed and therefore perfectly
+// repairable by regeneration, which is why only the class memories need
+// active protection (here: per-(class,lane) CRC32 with scrub-time
+// quarantine) and why class memory is the one the paper voltage-over-scales
+// into non-zero bit-error rates.
+//
+// Every fault process is a deterministic Injector driven by internal/rng:
+// the same Spec (including its Seed) applied to the same memory state yields
+// a bit-identical corrupted state, so resilience sweeps are reproducible
+// like everything else in the repo.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+// Lanes is the accelerator's class-memory striping factor: dimension i lives
+// in class memory i mod Lanes. It must equal sim.M (= 16); the sim's tests
+// assert the two constants agree (faults cannot import sim — the sim imports
+// faults).
+const Lanes = 16
+
+// Site identifies which Fig. 4 memory a fault targets.
+type Site int
+
+const (
+	// SiteClass targets the striped class memories (the VOS-scaled ones).
+	SiteClass Site = iota
+	// SiteLevel targets the 64-row level memory.
+	SiteLevel
+	// SiteID targets the id seed register.
+	SiteID
+	// SiteNorm targets the norm2 (score) memory words.
+	SiteNorm
+	// SiteInput targets the 1024×8-bit input feature memory. Input faults
+	// are transient (overwritten by the next sample load), so they are
+	// injected per-encode by the accelerator sim, not by the Controller.
+	SiteInput
+	// SiteDatapath targets the adder tree of the scoring datapath: transient
+	// single-bit flips in dot-product accumulation, injected per-inference
+	// by the accelerator sim.
+	SiteDatapath
+)
+
+var siteNames = map[Site]string{
+	SiteClass: "class", SiteLevel: "level", SiteID: "id",
+	SiteNorm: "norm", SiteInput: "input", SiteDatapath: "datapath",
+}
+
+func (s Site) String() string {
+	if n, ok := siteNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Site(%d)", int(s))
+}
+
+// Sites lists every injectable site in display order.
+func Sites() []Site {
+	return []Site{SiteClass, SiteLevel, SiteID, SiteNorm, SiteInput, SiteDatapath}
+}
+
+// ParseSite parses a site name as accepted by the -fault-site flag.
+func ParseSite(s string) (Site, error) {
+	for _, site := range Sites() {
+		if siteNames[site] == strings.ToLower(strings.TrimSpace(s)) {
+			return site, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown fault site %q (want class, level, id, norm, input, or datapath)", s)
+}
+
+// Kind selects a fault model.
+type Kind int
+
+const (
+	// Uniform flips each stored bit independently with probability Rate —
+	// the voltage-over-scaling error model of Fig. 6.
+	Uniform Kind = iota
+	// StuckAt0 forces each bit to 0 with probability Rate (a stuck-at-0
+	// cell defect map drawn once per injection).
+	StuckAt0
+	// StuckAt1 forces each bit to 1 with probability Rate.
+	StuckAt1
+	// Burst corrupts whole spans: each row is hit with probability Rate,
+	// and a hit flips Burst consecutive bits starting at a random offset —
+	// the word-line/row-failure model.
+	Burst
+	// BankFail randomizes every bit of the cells belonging to one striped
+	// bank (cell index ≡ Lane mod Lanes) — a dead class memory returning
+	// garbage.
+	BankFail
+)
+
+var kindNames = map[Kind]string{
+	Uniform: "uniform", StuckAt0: "stuck0", StuckAt1: "stuck1",
+	Burst: "burst", BankFail: "bank",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds lists every fault model in display order.
+func Kinds() []Kind { return []Kind{Uniform, StuckAt0, StuckAt1, Burst, BankFail} }
+
+// ParseKind parses a fault-model name as accepted by the -fault-model flag.
+func ParseKind(s string) (Kind, error) {
+	for _, kind := range Kinds() {
+		if kindNames[kind] == strings.ToLower(strings.TrimSpace(s)) {
+			return kind, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown fault model %q (want uniform, stuck0, stuck1, burst, or bank)", s)
+}
+
+// Spec is a complete, reproducible description of one fault process.
+type Spec struct {
+	Site Site
+	Kind Kind
+	// Rate is the per-bit corruption probability (Uniform/StuckAt) or the
+	// per-row hit probability (Burst). Ignored by BankFail.
+	Rate float64
+	// Burst is the burst length in bits (Burst only; 0 means 8).
+	Burst int
+	// Lane is the dead bank index in [0, Lanes) (BankFail only).
+	Lane int
+	// Seed drives the fault process RNG. The same Spec applied to the same
+	// memory state corrupts it bit-identically.
+	Seed uint64
+}
+
+// Validate checks the spec's parameters.
+func (s Spec) Validate() error {
+	if _, ok := siteNames[s.Site]; !ok {
+		return fmt.Errorf("faults: invalid site %d", int(s.Site))
+	}
+	if _, ok := kindNames[s.Kind]; !ok {
+		return fmt.Errorf("faults: invalid kind %d", int(s.Kind))
+	}
+	switch s.Kind {
+	case BankFail:
+		if s.Lane < 0 || s.Lane >= Lanes {
+			return fmt.Errorf("faults: bank lane %d out of range [0,%d)", s.Lane, Lanes)
+		}
+	default:
+		if s.Rate < 0 || s.Rate > 1 {
+			return fmt.Errorf("faults: rate %g out of range [0,1]", s.Rate)
+		}
+		if s.Kind == Burst && s.Burst < 0 {
+			return fmt.Errorf("faults: burst length %d must be non-negative", s.Burst)
+		}
+	}
+	return nil
+}
+
+func (s Spec) String() string {
+	switch s.Kind {
+	case BankFail:
+		return fmt.Sprintf("%s:%s lane=%d seed=%d", s.Site, s.Kind, s.Lane, s.Seed)
+	case Burst:
+		b := s.Burst
+		if b == 0 {
+			b = 8
+		}
+		return fmt.Sprintf("%s:%s rate=%g len=%d seed=%d", s.Site, s.Kind, s.Rate, b, s.Seed)
+	}
+	return fmt.Sprintf("%s:%s rate=%g seed=%d", s.Site, s.Kind, s.Rate, s.Seed)
+}
+
+// Injector corrupts a memory in place. Implementations must draw all
+// randomness from the supplied *rng.Rand in a fixed visitation order
+// (row-major, then cell, then bit) so injections are bit-reproducible.
+type Injector interface {
+	// Apply corrupts mem and returns the number of bits actually changed.
+	Apply(mem Mem, r *rng.Rand) int
+	String() string
+}
+
+// ErrTransientSite is returned when a Spec targets the input memory or the
+// datapath, which hold no persistent state: those faults are injected
+// per-operation by the accelerator sim, not by a Controller.
+var ErrTransientSite = errors.New("faults: input/datapath faults are transient; inject them through the accelerator sim")
+
+// Injector builds the deterministic injector for the spec's fault model.
+func (s Spec) Injector() (Injector, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case Uniform:
+		return uniformInjector{rate: s.Rate}, nil
+	case StuckAt0:
+		return stuckAtInjector{rate: s.Rate, v: 0}, nil
+	case StuckAt1:
+		return stuckAtInjector{rate: s.Rate, v: 1}, nil
+	case Burst:
+		b := s.Burst
+		if b == 0 {
+			b = 8
+		}
+		return burstInjector{rate: s.Rate, length: b}, nil
+	case BankFail:
+		return bankFailInjector{lane: s.Lane}, nil
+	}
+	return nil, fmt.Errorf("faults: invalid kind %d", int(s.Kind))
+}
+
+// --- injector implementations ----------------------------------------------
+
+type uniformInjector struct{ rate float64 }
+
+func (inj uniformInjector) String() string { return fmt.Sprintf("uniform(ber=%g)", inj.rate) }
+
+func (inj uniformInjector) Apply(mem Mem, r *rng.Rand) int {
+	if inj.rate <= 0 {
+		return 0
+	}
+	flipped := 0
+	rows, cells, bits := mem.Rows(), mem.Cells(), mem.CellBits()
+	for row := 0; row < rows; row++ {
+		for cell := 0; cell < cells; cell++ {
+			for b := 0; b < bits; b++ {
+				if r.Float64() < inj.rate {
+					mem.SetBit(row, cell, b, 1-mem.Bit(row, cell, b))
+					flipped++
+				}
+			}
+		}
+	}
+	return flipped
+}
+
+type stuckAtInjector struct {
+	rate float64
+	v    int
+}
+
+func (inj stuckAtInjector) String() string {
+	return fmt.Sprintf("stuck-at-%d(frac=%g)", inj.v, inj.rate)
+}
+
+func (inj stuckAtInjector) Apply(mem Mem, r *rng.Rand) int {
+	if inj.rate <= 0 {
+		return 0
+	}
+	changed := 0
+	rows, cells, bits := mem.Rows(), mem.Cells(), mem.CellBits()
+	for row := 0; row < rows; row++ {
+		for cell := 0; cell < cells; cell++ {
+			for b := 0; b < bits; b++ {
+				if r.Float64() < inj.rate {
+					if mem.Bit(row, cell, b) != inj.v {
+						mem.SetBit(row, cell, b, inj.v)
+						changed++
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+type burstInjector struct {
+	rate   float64
+	length int
+}
+
+func (inj burstInjector) String() string {
+	return fmt.Sprintf("burst(rowRate=%g, len=%d)", inj.rate, inj.length)
+}
+
+func (inj burstInjector) Apply(mem Mem, r *rng.Rand) int {
+	if inj.rate <= 0 || inj.length <= 0 {
+		return 0
+	}
+	flipped := 0
+	rows, cells, bits := mem.Rows(), mem.Cells(), mem.CellBits()
+	rowBits := cells * bits
+	for row := 0; row < rows; row++ {
+		if r.Float64() >= inj.rate {
+			continue
+		}
+		start := r.Intn(rowBits)
+		end := start + inj.length
+		if end > rowBits {
+			end = rowBits
+		}
+		for p := start; p < end; p++ {
+			cell, b := p/bits, p%bits
+			mem.SetBit(row, cell, b, 1-mem.Bit(row, cell, b))
+			flipped++
+		}
+	}
+	return flipped
+}
+
+type bankFailInjector struct{ lane int }
+
+func (inj bankFailInjector) String() string { return fmt.Sprintf("bank-fail(lane=%d)", inj.lane) }
+
+func (inj bankFailInjector) Apply(mem Mem, r *rng.Rand) int {
+	changed := 0
+	rows, cells, bits := mem.Rows(), mem.Cells(), mem.CellBits()
+	for row := 0; row < rows; row++ {
+		for cell := inj.lane; cell < cells; cell += Lanes {
+			for b := 0; b < bits; b++ {
+				v := 0
+				if r.Bool() {
+					v = 1
+				}
+				if mem.Bit(row, cell, b) != v {
+					mem.SetBit(row, cell, b, v)
+					changed++
+				}
+			}
+		}
+	}
+	return changed
+}

@@ -53,9 +53,25 @@ func (t *LevelTable) D() int { return t.d }
 func (t *LevelTable) Bins() int { return t.bins }
 
 // Level returns the hypervector for bin b. The returned vector is shared;
-// callers must not modify it.
+// callers must not modify it (the fault layer is the sanctioned exception:
+// it mutates levels in place to model memory bit errors and repairs them by
+// regeneration).
 func (t *LevelTable) Level(b int) *BitVec {
 	return t.levels[b]
+}
+
+// Rows exposes the underlying level vectors as memory rows for the fault
+// layer. The slice and its vectors are live, not copies.
+func (t *LevelTable) Rows() []*BitVec { return t.levels }
+
+// Clone returns a deep copy of the table, including any in-place mutations
+// (e.g. injected bit errors).
+func (t *LevelTable) Clone() *LevelTable {
+	c := &LevelTable{d: t.d, bins: t.bins, levels: make([]*BitVec, len(t.levels))}
+	for i, v := range t.levels {
+		c.levels[i] = v.Clone()
+	}
+	return c
 }
 
 // Quantize maps x in [lo, hi] to a bin index in [0, bins); values outside
@@ -88,8 +104,15 @@ func NewIDGenerator(d int, r *rng.Rand) *IDGenerator {
 	return &IDGenerator{seed: RandomBitVec(d, r)}
 }
 
-// Seed returns the seed hypervector (id 0). Callers must not modify it.
+// Seed returns the seed hypervector (id 0). Callers must not modify it
+// (the fault layer is the sanctioned exception; see LevelTable.Level).
 func (g *IDGenerator) Seed() *BitVec { return g.seed }
+
+// Clone returns a deep copy of the generator, including any in-place
+// mutations of the seed.
+func (g *IDGenerator) Clone() *IDGenerator {
+	return &IDGenerator{seed: g.seed.Clone()}
+}
 
 // D returns the dimensionality.
 func (g *IDGenerator) D() int { return g.seed.d }

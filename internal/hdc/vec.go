@@ -83,10 +83,10 @@ func (v Vec) Norm2Prefix(d int) int64 {
 // ranking: sign(H·C) · (H·C)² / ‖C‖², which orders classes identically to
 // true cosine (the query norm is constant across classes and the square
 // root is monotone). norm2 must be the squared L2 norm of v.
-// A zero norm scores negative infinity ranking-wise, returned here as the
-// most negative finite value to keep arithmetic simple.
+// A zero (or corrupted-negative) norm scores negative infinity ranking-wise,
+// returned here as the most negative finite value to keep arithmetic simple.
 func CosineScore(dot int64, norm2 int64) float64 {
-	if norm2 == 0 {
+	if norm2 <= 0 {
 		return -1e308
 	}
 	s := float64(dot) * float64(dot) / float64(norm2)

@@ -5,18 +5,25 @@
 //
 // The format is versioned and self-describing:
 //
-//	magic "GHDC" | version u16 | header | payload
+//	magic "GHDC" | version u16 | header | payload | crc32 u32 (v2+)
 //
 // All integers are little-endian. Class elements are stored at the model's
 // bit-width: 16-bit two's complement words (narrower widths still occupy
 // 16 bits; the density win of sub-16-bit packing is not worth the format
 // complexity at 4K×32 scale).
+//
+// Version 2 appends a CRC32 (IEEE) integrity footer computed over every
+// preceding byte (magic through payload). Version-1 files have no footer
+// and still load; Bundle.HasChecksum reports which kind was read, so
+// callers can surface a "no checksum" note for legacy files.
 package modelio
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -27,8 +34,15 @@ import (
 
 const (
 	magic   = "GHDC"
-	version = 1
+	version = 2
+	// versionNoChecksum is the legacy footerless format, still readable.
+	versionNoChecksum = 1
 )
+
+// ErrChecksum reports a version-2 stream whose CRC32 footer does not match
+// its contents: the payload was corrupted (or truncated at a 4-byte
+// boundary) after writing.
+var ErrChecksum = errors.New("modelio: checksum mismatch, file is corrupt")
 
 // Bundle couples a trained model with the encoder configuration that
 // produced its encodings — both are needed to reconstruct a working
@@ -37,14 +51,27 @@ type Bundle struct {
 	Kind  encoding.Kind
 	Cfg   encoding.Config
 	Model *classifier.Model
+	// HasChecksum is set by Read: true when the stream carried (and passed)
+	// a CRC32 integrity footer, false for legacy version-1 files.
+	HasChecksum bool
 }
 
-// Write serializes the bundle.
+// Write serializes the bundle in the current format version, including the
+// CRC32 integrity footer.
 func Write(w io.Writer, b *Bundle) error {
+	return writeVersioned(w, b, version)
+}
+
+// writeVersioned writes the requested format version — the legacy
+// footerless version stays writable so compatibility tests can produce it.
+func writeVersioned(w io.Writer, b *Bundle, ver uint16) error {
 	if b == nil || b.Model == nil {
 		return fmt.Errorf("modelio: nil bundle or model")
 	}
-	bw := bufio.NewWriter(w)
+	// Everything up to the footer streams through the CRC as it is written;
+	// the footer itself goes to w alone.
+	h := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, h))
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
@@ -54,7 +81,7 @@ func Write(w io.Writer, b *Bundle) error {
 	writeU64 := func(v uint64) error { return binary.Write(bw, le, v) }
 	writeF64 := func(v float64) error { return binary.Write(bw, le, math.Float64bits(v)) }
 
-	if err := writeU16(version); err != nil {
+	if err := writeU16(ver); err != nil {
 		return err
 	}
 	// Encoder header.
@@ -104,15 +131,30 @@ func Write(w io.Writer, b *Bundle) error {
 			}
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if ver < 2 {
+		return nil
+	}
+	var footer [4]byte
+	le.PutUint32(footer[:], h.Sum32())
+	_, err := w.Write(footer[:])
+	return err
 }
 
 // Read deserializes a bundle and rebuilds the encoder-ready configuration
-// and the model (with norms recomputed).
+// and the model (with norms recomputed). Version-2 streams are verified
+// against their CRC32 footer; a mismatch returns an error wrapping
+// ErrChecksum.
 func Read(r io.Reader) (*Bundle, error) {
 	br := bufio.NewReader(r)
+	// Every content byte read through tr feeds the CRC; the footer (v2) is
+	// read from br directly so it is not hashed itself.
+	h := crc32.NewIEEE()
+	tr := io.TeeReader(br, h)
 	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
+	if _, err := io.ReadFull(tr, head); err != nil {
 		return nil, fmt.Errorf("modelio: reading magic: %w", err)
 	}
 	if string(head) != magic {
@@ -121,19 +163,19 @@ func Read(r io.Reader) (*Bundle, error) {
 	le := binary.LittleEndian
 	readU16 := func() (uint16, error) {
 		var v uint16
-		err := binary.Read(br, le, &v)
+		err := binary.Read(tr, le, &v)
 		return v, err
 	}
 	readU32 := func() (uint32, error) {
 		var v uint32
-		err := binary.Read(br, le, &v)
+		err := binary.Read(tr, le, &v)
 		return v, err
 	}
 	ver, err := readU16()
 	if err != nil {
 		return nil, err
 	}
-	if ver != version {
+	if ver != version && ver != versionNoChecksum {
 		return nil, fmt.Errorf("modelio: unsupported version %d", ver)
 	}
 	kind, err := readU16()
@@ -153,14 +195,14 @@ func Read(r io.Reader) (*Bundle, error) {
 		return nil, err
 	}
 	var seed uint64
-	if err := binary.Read(br, le, &seed); err != nil {
+	if err := binary.Read(tr, le, &seed); err != nil {
 		return nil, err
 	}
 	var loBits, hiBits uint64
-	if err := binary.Read(br, le, &loBits); err != nil {
+	if err := binary.Read(tr, le, &loBits); err != nil {
 		return nil, err
 	}
-	if err := binary.Read(br, le, &hiBits); err != nil {
+	if err := binary.Read(tr, le, &hiBits); err != nil {
 		return nil, err
 	}
 	b.Cfg = encoding.Config{
@@ -188,12 +230,23 @@ func Read(r io.Reader) (*Bundle, error) {
 	tmp := hdc.NewVec(int(mD))
 	for c := 0; c < int(mClasses); c++ {
 		for i := 0; i < int(mD); i++ {
-			if _, err := io.ReadFull(br, buf); err != nil {
+			if _, err := io.ReadFull(tr, buf); err != nil {
 				return nil, fmt.Errorf("modelio: class payload truncated: %w", err)
 			}
 			tmp[i] = int32(int16(le.Uint16(buf)))
 		}
 		m.SetClass(c, tmp)
+	}
+	if ver >= 2 {
+		sum := h.Sum32() // hash of magic..payload, before touching the footer
+		var footer [4]byte
+		if _, err := io.ReadFull(br, footer[:]); err != nil {
+			return nil, fmt.Errorf("modelio: reading checksum footer: %w", err)
+		}
+		if le.Uint32(footer[:]) != sum {
+			return nil, fmt.Errorf("%w (stored %08x, computed %08x)", ErrChecksum, le.Uint32(footer[:]), sum)
+		}
+		b.HasChecksum = true
 	}
 	b.Model = m
 	return &b, nil

@@ -180,6 +180,11 @@ type Config struct {
 	// widths proportionally reduce class-memory and MAC dynamic energy
 	// (§4.3.4: quantized elements reduce the dot-product dynamic power).
 	BW int
+	// MaskedLanes is the number of dead class-memory banks masked out of
+	// the dot product by the fault layer (sim.Accelerator.MaskedLanes). A
+	// masked bank is powered off entirely — its static and dynamic
+	// class-memory share disappears along with its dimensions.
+	MaskedLanes int
 }
 
 func (c Config) normalized() Config {
@@ -192,7 +197,15 @@ func (c Config) normalized() Config {
 	if c.BW <= 0 || c.BW > 16 {
 		c.BW = 16
 	}
+	if c.MaskedLanes < 0 || c.MaskedLanes >= sim.M {
+		c.MaskedLanes = 0
+	}
 	return c
+}
+
+// laneFrac returns the fraction of class-memory lanes still alive.
+func (c Config) laneFrac() float64 {
+	return float64(sim.M-c.MaskedLanes) / float64(sim.M)
 }
 
 // Report is the energy accounting for one workload.
@@ -209,7 +222,7 @@ type Report struct {
 func StaticPowerW(cfg Config) float64 {
 	cfg = cfg.normalized()
 	b := StaticPowerAllBanks()
-	classW := b.ClassMem * cfg.ActiveBankFrac * cfg.VOS.StaticFactor
+	classW := b.ClassMem * cfg.ActiveBankFrac * cfg.VOS.StaticFactor * cfg.laneFrac()
 	others := b.Total() - b.ClassMem
 	return (classW + others) * 1e-3 // mW → W
 }
@@ -220,7 +233,7 @@ func Energy(st sim.Stats, cfg Config) Report {
 	bwScale := float64(cfg.BW) / 16
 
 	var dyn Breakdown
-	dyn.ClassMem = float64(st.ClassMemReads+st.ClassMemWrites) * classWordPJ * bwScale * cfg.VOS.DynFactor
+	dyn.ClassMem = float64(st.ClassMemReads+st.ClassMemWrites) * classWordPJ * bwScale * cfg.VOS.DynFactor * cfg.laneFrac()
 	dyn.LevelMem = float64(st.LevelMemReads) * levelRowPJ
 	dyn.FeatureMem = float64(st.FeatureMemReads)*featureReadPJ + float64(st.FeatureMemWrites)*featureWritePJ
 	dyn.Datapath = float64(st.Cycles)*datapathPJ*bwScale + float64(st.IDGenerations)*idGenPJ

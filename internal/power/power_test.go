@@ -252,3 +252,26 @@ func TestStaticPowerVOSInteraction(t *testing.T) {
 		t.Fatal("static power fell below the non-gated components")
 	}
 }
+
+func TestMaskedLanesScalePower(t *testing.T) {
+	st := sim.Stats{Cycles: 1000, ClassMemReads: 5000, ClassMemWrites: 100, Inferences: 10}
+	full := Energy(st, Config{})
+	masked := Energy(st, Config{MaskedLanes: 4})
+	// A dead bank draws no dynamic class-memory power: 4 of 16 lanes off
+	// cuts the class share by exactly a quarter.
+	if masked.DynamicJ >= full.DynamicJ {
+		t.Errorf("masked-lane dynamic energy %.3g not below full %.3g", masked.DynamicJ, full.DynamicJ)
+	}
+	sFull := StaticPowerW(Config{})
+	sMasked := StaticPowerW(Config{MaskedLanes: 4})
+	if sMasked >= sFull {
+		t.Errorf("masked-lane static power %.3g not below full %.3g", sMasked, sFull)
+	}
+	// Out-of-range lane counts normalize to zero (all lanes alive).
+	if got := StaticPowerW(Config{MaskedLanes: sim.M}); got != sFull {
+		t.Errorf("MaskedLanes=%d not normalized: %.3g vs %.3g", sim.M, got, sFull)
+	}
+	if got := StaticPowerW(Config{MaskedLanes: -1}); got != sFull {
+		t.Errorf("MaskedLanes=-1 not normalized: %.3g vs %.3g", got, sFull)
+	}
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"github.com/edge-hdc/generic/internal/faults"
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+// datapathBits is the width of the adder-tree slice exposed to transient
+// upsets: single-event flips hit individual full-adder outputs, so only the
+// low partial-sum bits are vulnerable, not the final sign logic.
+const datapathBits = 24
+
+// faultController lazily builds the persistent-fault controller for the
+// current model/encoder pair.
+func (a *Accelerator) faultController() *faults.Controller {
+	if a.faultCtl == nil {
+		a.faultCtl = faults.NewController(a.model, a.enc)
+	}
+	return a.faultCtl
+}
+
+// invalidateGuard drops the class-memory CRC reference across legitimate
+// model mutations (training passes).
+func (a *Accelerator) invalidateGuard() {
+	if a.faultCtl != nil {
+		a.faultCtl.InvalidateGuard()
+	}
+}
+
+// InjectFaults applies one fault spec to the accelerator and returns the
+// number of bits changed. Persistent sites (class, level, id, norm) corrupt
+// stored state immediately through the fault controller. Transient sites
+// arm an ongoing fault process instead: SiteInput corrupts every
+// subsequently loaded sample in the 8-bit input memory, and SiteDatapath
+// flips adder-tree bits during scoring with per-bit probability Rate. Arming
+// a transient site with Rate 0 (or, for SiteInput, an injector that changes
+// nothing) disarms it.
+func (a *Accelerator) InjectFaults(spec faults.Spec) (int, error) {
+	switch spec.Site {
+	case faults.SiteInput:
+		inj, err := spec.Injector()
+		if err != nil {
+			return 0, err
+		}
+		if spec.Kind != faults.BankFail && spec.Rate == 0 {
+			a.inputInj, a.inputRNG, a.inputBuf = nil, nil, nil
+			return 0, nil
+		}
+		a.inputInj = inj
+		a.inputRNG = rng.New(spec.Seed)
+		a.inputBuf = make([]float64, a.spec.Features)
+		return 0, nil
+	case faults.SiteDatapath:
+		if err := spec.Validate(); err != nil {
+			return 0, err
+		}
+		if spec.Rate == 0 {
+			a.dpRate, a.dpRNG = 0, nil
+			return 0, nil
+		}
+		a.dpRate = spec.Rate
+		a.dpRNG = rng.New(spec.Seed)
+		return 0, nil
+	}
+	n, err := a.faultController().Inject(spec)
+	a.stats.FaultBits += int64(n)
+	return n, err
+}
+
+// Scrub runs the detection-and-repair pass (see faults.Controller.Scrub)
+// with architectural accounting: the CRC verification streams every class
+// word once, regeneration rewrites the level memory and id seed through the
+// material generator, and the repaired model gets a norm recompute pass.
+func (a *Accelerator) Scrub() faults.ScrubReport {
+	rep := a.faultController().Scrub()
+	nC := int64(a.model.Classes())
+	// CRC pass: every class word is read once, M words per cycle.
+	a.stats.ClassMemReads += nC * int64(a.spec.D)
+	a.addCycles("scrub", nC*a.passes())
+	if rep.EncoderRegenerated {
+		// Rewriting LevelBins level rows (+ the id seed), M bits per cycle.
+		a.addCycles("scrub", int64(LevelBins+1)*int64(a.spec.D/M))
+	}
+	a.normPass()
+	a.stats.Scrubs++
+	return rep
+}
+
+// Health reports the accelerator's fault state, including any transient
+// fault processes currently armed.
+func (a *Accelerator) Health() faults.Health {
+	h := a.faultController().Health()
+	if a.inputInj != nil {
+		h.Faults = append(h.Faults, "input:"+a.inputInj.String()+" (armed)")
+	}
+	if a.dpRNG != nil {
+		h.Faults = append(h.Faults, "datapath:transient (armed)")
+	}
+	return h
+}
+
+// MaskedLanes returns the number of dead class-memory banks masked out of
+// the dot product, for the power model's bank accounting.
+func (a *Accelerator) MaskedLanes() int {
+	if a.faultCtl == nil {
+		return 0
+	}
+	return a.faultCtl.MaskedLaneCount()
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/edge-hdc/generic/internal/faults"
+)
+
+// The faults package cannot import sim (sim imports faults), so its striping
+// constant is declared independently; the two must agree.
+func TestFaultLanesMatchesM(t *testing.T) {
+	if faults.Lanes != M {
+		t.Fatalf("faults.Lanes = %d, sim.M = %d", faults.Lanes, M)
+	}
+}
+
+// faultAccel trains a small accelerator on a deterministic two-class
+// problem; identical calls produce bit-identical accelerators.
+func faultAccel(t *testing.T) (*Accelerator, [][]float64, []int) {
+	t.Helper()
+	var X [][]float64
+	var Y []int
+	for i := 0; i < 60; i++ {
+		x := make([]float64, 16)
+		c := i % 2
+		for j := 0; j < 4; j++ {
+			x[c*8+j] = 0.9
+		}
+		x[(i*5)%16] += 0.05
+		X = append(X, x)
+		Y = append(Y, c)
+	}
+	a, err := NewWithRange(Spec{
+		D: 512, Features: 16, N: 3, Classes: 2, BW: 16, UseID: true, Mode: Train,
+	}, 13, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Train(X, Y, 3)
+	return a, X, Y
+}
+
+func sameInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transient input faults: deterministic per seed, and disarmable.
+func TestInputFaultDeterministicAndDisarmable(t *testing.T) {
+	a, X, _ := faultAccel(t)
+	b, _, _ := faultAccel(t)
+	clean := a.InferAll(X)
+
+	spec := faults.Spec{Site: faults.SiteInput, Kind: faults.Uniform, Rate: 0.05, Seed: 17}
+	if _, err := a.InjectFaults(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.InjectFaults(spec); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.InferAll(X), b.InferAll(X)
+	if !sameInts(pa, pb) {
+		t.Fatal("identical input-fault specs produced different predictions")
+	}
+
+	// Disarm: rate 0 restores fault-free inference (input faults are
+	// transient — nothing persists).
+	if _, err := a.InjectFaults(faults.Spec{Site: faults.SiteInput, Kind: faults.Uniform, Rate: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InferAll(X); !sameInts(got, clean) {
+		t.Fatal("predictions differ after disarming input faults")
+	}
+}
+
+// Transient datapath faults: flips are counted, deterministic per seed, and
+// disarmable.
+func TestDatapathFaultDeterministicAndDisarmable(t *testing.T) {
+	a, X, _ := faultAccel(t)
+	b, _, _ := faultAccel(t)
+	clean := a.InferAll(X)
+	before := a.Stats().FaultBits
+
+	spec := faults.Spec{Site: faults.SiteDatapath, Kind: faults.Uniform, Rate: 0.5, Seed: 23}
+	if _, err := a.InjectFaults(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.InjectFaults(spec); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.InferAll(X), b.InferAll(X)
+	if !sameInts(pa, pb) {
+		t.Fatal("identical datapath-fault specs produced different predictions")
+	}
+	if a.Stats().FaultBits <= before {
+		t.Error("datapath flips not counted in Stats.FaultBits")
+	}
+
+	if _, err := a.InjectFaults(faults.Spec{Site: faults.SiteDatapath, Kind: faults.Uniform, Rate: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InferAll(X); !sameInts(got, clean) {
+		t.Fatal("predictions differ after disarming datapath faults")
+	}
+}
+
+// The acceptance criterion: Scrub after level/id corruption restores
+// bit-identical predictions, with architectural accounting.
+func TestScrubRestoresPredictions(t *testing.T) {
+	for _, site := range []faults.Site{faults.SiteLevel, faults.SiteID} {
+		t.Run(site.String(), func(t *testing.T) {
+			a, X, _ := faultAccel(t)
+			want := a.InferAll(X)
+			n, err := a.InjectFaults(faults.Spec{Site: site, Kind: faults.Uniform, Rate: 0.2, Seed: 41})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				t.Fatal("injection changed no bits")
+			}
+			if a.Stats().FaultBits != int64(n) {
+				t.Errorf("Stats.FaultBits = %d, want %d", a.Stats().FaultBits, n)
+			}
+			cyclesBefore := a.Stats().Cycles
+			rep := a.Scrub()
+			if !rep.EncoderRegenerated {
+				t.Error("scrub did not regenerate the encoder")
+			}
+			if a.Stats().Scrubs != 1 {
+				t.Errorf("Stats.Scrubs = %d, want 1", a.Stats().Scrubs)
+			}
+			if a.Stats().Cycles <= cyclesBefore {
+				t.Error("scrub pass accounted no cycles")
+			}
+			if got := a.InferAll(X); !sameInts(got, want) {
+				t.Error("predictions differ after scrub")
+			}
+		})
+	}
+}
+
+// A dead class bank survives as a masked lane, reported to the power model.
+func TestBankFailMasksLane(t *testing.T) {
+	a, X, Y := faultAccel(t)
+	if a.MaskedLanes() != 0 {
+		t.Fatal("fresh accelerator reports masked lanes")
+	}
+	if _, err := a.InjectFaults(faults.Spec{Site: faults.SiteClass, Kind: faults.BankFail, Lane: 9, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	rep := a.Scrub()
+	if rep.LanesMasked != 1 {
+		t.Fatalf("LanesMasked = %d, want 1", rep.LanesMasked)
+	}
+	if a.MaskedLanes() != 1 {
+		t.Errorf("MaskedLanes() = %d, want 1", a.MaskedLanes())
+	}
+	h := a.Health()
+	if len(h.MaskedLanes) != 1 || h.MaskedLanes[0] != 9 {
+		t.Errorf("Health.MaskedLanes = %v, want [9]", h.MaskedLanes)
+	}
+	// The model must remain usable: the problem is separable enough that
+	// losing 1/16 of the dimensions cannot break it.
+	preds := a.InferAll(X)
+	correct := 0
+	for i, p := range preds {
+		if p == Y[i] {
+			correct++
+		}
+	}
+	if correct < len(X)*9/10 {
+		t.Errorf("accuracy %d/%d after one masked lane", correct, len(X))
+	}
+}
+
+// Retraining after faults invalidates the CRC guard: the new legitimate
+// state must not be flagged as corruption by the next scrub.
+func TestTrainingInvalidatesGuard(t *testing.T) {
+	a, X, Y := faultAccel(t)
+	if _, err := a.InjectFaults(faults.Spec{Site: faults.SiteClass, Kind: faults.Uniform, Rate: 0.01, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	a.Train(X, Y, 1) // legitimate mutation
+	rep := a.Scrub()
+	if rep.BadRows != 0 || rep.QuarantinedRows != 0 || rep.LanesMasked != 0 {
+		t.Fatalf("scrub after retraining flagged legitimate state: %+v", rep)
+	}
+}
+
+// Health lists armed transient processes alongside persistent history.
+func TestHealthListsArmedTransients(t *testing.T) {
+	a, _, _ := faultAccel(t)
+	if _, err := a.InjectFaults(faults.Spec{Site: faults.SiteInput, Kind: faults.Uniform, Rate: 0.01, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.InjectFaults(faults.Spec{Site: faults.SiteDatapath, Kind: faults.Uniform, Rate: 0.01, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	h := a.Health()
+	if len(h.Faults) != 2 {
+		t.Fatalf("Health.Faults = %v, want two armed transients", h.Faults)
+	}
+}

@@ -26,7 +26,9 @@ import (
 	"github.com/edge-hdc/generic/internal/approx"
 	"github.com/edge-hdc/generic/internal/classifier"
 	"github.com/edge-hdc/generic/internal/encoding"
+	"github.com/edge-hdc/generic/internal/faults"
 	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/rng"
 )
 
 // Architectural constants (§4.1, §5.1).
@@ -138,6 +140,9 @@ type Stats struct {
 	Encodings  int64
 	Inferences int64
 	Updates    int64 // retrain/cluster class updates
+
+	FaultBits int64 // bits corrupted by fault injection (persistent + transient)
+	Scrubs    int64 // scrub-and-repair passes
 }
 
 // Add accumulates o into s.
@@ -152,6 +157,8 @@ func (s *Stats) Add(o Stats) {
 	s.Encodings += o.Encodings
 	s.Inferences += o.Inferences
 	s.Updates += o.Updates
+	s.FaultBits += o.FaultBits
+	s.Scrubs += o.Scrubs
 }
 
 // Seconds converts the cycle count to wall-clock time at the target clock.
@@ -172,8 +179,16 @@ type Accelerator struct {
 	model  *classifier.Model
 	stats  Stats
 	tracer Tracer
+	lo, hi float64 // level-quantization range (also the input-memory range)
 	// scratch
 	q hdc.Vec
+	// fault state (see fault.go)
+	faultCtl *faults.Controller
+	inputInj faults.Injector
+	inputRNG *rng.Rand
+	inputBuf []float64
+	dpRate   float64
+	dpRNG    *rng.Rand
 }
 
 // SetTracer installs an activity tracer (nil disables tracing).
@@ -235,7 +250,7 @@ func NewWithRange(spec Spec, seed uint64, lo, hi float64) (*Accelerator, error) 
 	if err != nil {
 		return nil, err
 	}
-	a := &Accelerator{spec: spec, enc: enc, q: hdc.NewVec(spec.D)}
+	a := &Accelerator{spec: spec, enc: enc, lo: lo, hi: hi, q: hdc.NewVec(spec.D)}
 	a.model = classifier.NewModel(spec.D, max2(spec.Classes, 2), spec.BW)
 	return a, nil
 }
@@ -262,6 +277,9 @@ func (a *Accelerator) LoadModel(m *classifier.Model) error {
 		clone.Quantize(a.spec.BW)
 	}
 	a.model = clone
+	// The fault controller holds references into the replaced model; its
+	// guard and mask state no longer apply.
+	a.faultCtl = nil
 	// Loading nC·D words through the config port.
 	a.stats.ClassMemWrites += int64(m.Classes()) * int64(a.spec.D)
 	return nil
@@ -299,8 +317,15 @@ func (a *Accelerator) encodeCycles(overlapped int64) {
 	a.stats.Encodings++
 }
 
-// encode performs the functional encoding into a.q.
+// encode performs the functional encoding into a.q. With an input-memory
+// fault armed, the sample first round-trips through the 8-bit input memory
+// with the injector corrupting the stored codes (transient: the next load
+// overwrites them).
 func (a *Accelerator) encode(x []float64) {
+	if a.inputInj != nil {
+		a.stats.FaultBits += int64(faults.CorruptFeatures(a.inputBuf, x, a.lo, a.hi, a.inputInj, a.inputRNG))
+		x = a.inputBuf
+	}
 	a.enc.Encode(x, a.q)
 }
 
@@ -314,6 +339,13 @@ func (a *Accelerator) scoreAll() int {
 	best, bestScore := 0, int64(math.MinInt64)
 	for c := 0; c < nC; c++ {
 		dot := a.q.Dot(a.model.Class(c))
+		if a.dpRNG != nil && a.dpRate > 0 && a.dpRNG.Float64() < a.dpRate {
+			// Transient adder-tree upset: one bit of the accumulated dot
+			// flips. Low datapathBits bits only — upsets hit individual
+			// full-adder outputs, not the final sign logic.
+			dot ^= int64(1) << uint(a.dpRNG.Intn(datapathBits))
+			a.stats.FaultBits++
+		}
 		s := approx.ScoreApprox(dot, a.model.Norm2(c))
 		if s > bestScore {
 			best, bestScore = c, s
@@ -356,6 +388,7 @@ func (a *Accelerator) updateClassCycles() {
 // accumulated into its class hypervector (Fig. 1a), then squared norms are
 // computed into the norm2 memory.
 func (a *Accelerator) TrainInit(X [][]float64, Y []int) {
+	a.invalidateGuard()
 	for i, x := range X {
 		a.loadInput()
 		a.encode(x)
@@ -382,6 +415,7 @@ func (a *Accelerator) normPass() {
 // memories' temporary rows) is subtracted from the wrong class and added to
 // the right one. It returns the number of updates.
 func (a *Accelerator) RetrainEpoch(X [][]float64, Y []int) int {
+	a.invalidateGuard()
 	updates := 0
 	for i, x := range X {
 		a.loadInput()

@@ -1,6 +1,7 @@
 package generic
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -9,13 +10,20 @@ import (
 	"github.com/edge-hdc/generic/internal/modelio"
 )
 
+// ErrCorruptModel is returned (wrapped) by LoadPipeline when the stream's
+// CRC32 integrity footer does not match its contents.
+var ErrCorruptModel = errors.New("generic: model file corrupt (checksum mismatch)")
+
 // Save serializes a trained pipeline (encoder configuration + model) to w
 // in the library's versioned binary format — the software counterpart of
 // the accelerator's config port. The encoder configuration includes the
 // hypervector seed, so LoadPipeline reconstructs a pipeline whose
-// predictions are bit-identical.
+// predictions are bit-identical. The stream carries a CRC32 integrity
+// footer that LoadPipeline verifies.
 func (p *Pipeline) Save(w io.Writer) error {
-	p.mustBeTrained()
+	if err := p.trained("Save"); err != nil {
+		return err
+	}
 	return modelio.Write(w, &modelio.Bundle{Kind: p.enc.Kind(), Cfg: p.enc.Config(), Model: p.model})
 }
 
@@ -33,10 +41,16 @@ func (p *Pipeline) SaveFile(path string) error {
 }
 
 // LoadPipeline reconstructs a trained pipeline from a stream written by
-// Save.
+// Save. Corrupt payloads (failing the CRC32 footer check) are rejected with
+// an error wrapping ErrCorruptModel. Legacy footerless files (format
+// version 1) still load; HasChecksum reports false for them — the "no
+// checksum" note.
 func LoadPipeline(r io.Reader) (*Pipeline, error) {
 	b, err := modelio.Read(r)
 	if err != nil {
+		if errors.Is(err, modelio.ErrChecksum) {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptModel, err)
+		}
 		return nil, err
 	}
 	enc, err := encoding.New(b.Kind, b.Cfg)
@@ -48,8 +62,15 @@ func LoadPipeline(r io.Reader) (*Pipeline, error) {
 	}
 	p := NewPipeline(enc, b.Model.Classes())
 	p.model = b.Model
+	p.hasChecksum = b.HasChecksum
 	return p, nil
 }
+
+// HasChecksum reports whether the model file this pipeline was loaded from
+// carried (and passed) a CRC32 integrity footer. False for pipelines built
+// in memory or loaded from legacy version-1 files, which predate the
+// footer.
+func (p *Pipeline) HasChecksum() bool { return p.hasChecksum }
 
 // LoadPipelineFile is LoadPipeline from a file path.
 func LoadPipelineFile(path string) (*Pipeline, error) {

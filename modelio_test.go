@@ -2,6 +2,7 @@ package generic_test
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"testing"
 
@@ -18,11 +19,29 @@ func TestPipelineSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !q.HasChecksum() {
+		t.Error("loaded pipeline does not report a verified checksum")
+	}
 	for i, x := range X {
-		if got, want := q.Predict(x), p.Predict(x); got != want {
+		if got, want := must(q.Predict(x)), must(p.Predict(x)); got != want {
 			t.Fatalf("sample %d: loaded pipeline predicts %d, original %d", i, got, want)
 		}
 		_ = Y
+	}
+}
+
+func TestLoadPipelineCorrupt(t *testing.T) {
+	p, _, _ := trainXor(t)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the middle of the payload: the CRC32 footer must
+	// catch it and LoadPipeline must answer with the corruption sentinel.
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0x10
+	if _, err := generic.LoadPipeline(bytes.NewReader(raw)); !errors.Is(err, generic.ErrCorruptModel) {
+		t.Fatalf("corrupt payload: err = %v, want ErrCorruptModel", err)
 	}
 }
 
@@ -36,7 +55,7 @@ func TestPipelineSaveLoadFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if q.Predict(X[0]) != p.Predict(X[0]) {
+	if must(q.Predict(X[0])) != must(p.Predict(X[0])) {
 		t.Fatal("file round trip changed predictions")
 	}
 }
@@ -47,18 +66,15 @@ func TestLoadPipelineFileMissing(t *testing.T) {
 	}
 }
 
-func TestSaveUntrainedPanics(t *testing.T) {
+func TestSaveUntrainedErrors(t *testing.T) {
 	enc, _ := generic.NewEncoder(generic.LevelID, generic.EncoderConfig{
 		D: 256, Features: 4, Lo: 0, Hi: 1, Seed: 1,
 	})
 	p := generic.NewPipeline(enc, 2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Save before Fit did not panic")
-		}
-	}()
 	var buf bytes.Buffer
-	_ = p.Save(&buf)
+	if err := p.Save(&buf); !errors.Is(err, generic.ErrNotTrained) {
+		t.Fatalf("Save before Fit: err = %v, want ErrNotTrained", err)
+	}
 }
 
 func TestLoadPipelineGarbage(t *testing.T) {
@@ -69,7 +85,9 @@ func TestLoadPipelineGarbage(t *testing.T) {
 
 func TestSaveLoadQuantizedPipeline(t *testing.T) {
 	p, X, Y := trainXor(t)
-	p.Quantize(4)
+	if err := p.Quantize(4); err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := p.Save(&buf); err != nil {
 		t.Fatal(err)
@@ -80,7 +98,7 @@ func TestSaveLoadQuantizedPipeline(t *testing.T) {
 	}
 	correct := 0
 	for i, x := range X {
-		if q.Predict(x) == Y[i] {
+		if must(q.Predict(x)) == Y[i] {
 			correct++
 		}
 	}

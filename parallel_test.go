@@ -53,11 +53,11 @@ func TestFitParallelBitIdentical(t *testing.T) {
 				}
 			}
 		}
-		if sa, pa := serial.AccuracyWorkers(X, Y, 1), par.AccuracyWorkers(X, Y, workers); sa != pa {
+		if sa, pa := must(serial.AccuracyWorkers(X, Y, 1)), must(par.AccuracyWorkers(X, Y, workers)); sa != pa {
 			t.Fatalf("workers=%d: accuracy %v vs serial %v", workers, pa, sa)
 		}
-		want := serial.PredictBatch(X, 1)
-		got := par.PredictBatch(X, workers)
+		want := must(serial.PredictBatch(X, 1))
+		got := must(par.PredictBatch(X, workers))
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("workers=%d: PredictBatch sample %d differs", workers, i)
@@ -74,8 +74,8 @@ func TestPredictConcurrentSafe(t *testing.T) {
 	want := make([]int, len(X))
 	wantRed := make([]int, len(X))
 	for i, x := range X {
-		want[i] = p.Predict(x)
-		wantRed[i] = p.PredictReduced(x, 256)
+		want[i] = must(p.Predict(x))
+		wantRed[i] = must(p.PredictReduced(x, 256))
 	}
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -83,11 +83,11 @@ func TestPredictConcurrentSafe(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := g; i < len(X); i += 8 {
-				if got := p.Predict(X[i]); got != want[i] {
+				if got := must(p.Predict(X[i])); got != want[i] {
 					t.Errorf("concurrent Predict(%d) = %d, want %d", i, got, want[i])
 					return
 				}
-				if got := p.PredictReduced(X[i], 256); got != wantRed[i] {
+				if got := must(p.PredictReduced(X[i], 256)); got != wantRed[i] {
 					t.Errorf("concurrent PredictReduced(%d) = %d, want %d", i, got, wantRed[i])
 					return
 				}
