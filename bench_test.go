@@ -89,7 +89,9 @@ func BenchmarkPipelinePredict(b *testing.B) {
 		b.Fatal(err)
 	}
 	p := generic.NewPipeline(enc, ds.Classes)
-	p.Fit(ds.TrainX[:200], ds.TrainY[:200], generic.TrainOptions{Epochs: 2, Seed: 1})
+	if _, err := p.Fit(ds.TrainX[:200], ds.TrainY[:200], generic.TrainOptions{Epochs: 2, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Predict(ds.TestX[i%ds.TestLen()])
@@ -153,7 +155,9 @@ func benchFit(b *testing.B, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := generic.NewPipeline(enc, 6)
-		p.Fit(X, Y, generic.TrainOptions{Epochs: 3, Seed: 1, Workers: workers})
+		if _, err := p.Fit(X, Y, generic.TrainOptions{Epochs: 3, Seed: 1, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -163,7 +167,9 @@ func BenchmarkFitParallel(b *testing.B) { benchFit(b, 0) }
 func benchEvaluate(b *testing.B, workers int) {
 	enc, X, Y := benchBatchSetup(b)
 	p := generic.NewPipeline(enc, 6)
-	p.Fit(X, Y, generic.TrainOptions{Epochs: 2, Seed: 1, Workers: workers})
+	if _, err := p.Fit(X, Y, generic.TrainOptions{Epochs: 2, Seed: 1, Workers: workers}); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.AccuracyWorkers(X, Y, workers)

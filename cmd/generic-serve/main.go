@@ -1,0 +1,117 @@
+// Command generic-serve is an HTTP inference daemon over a trained GENERIC
+// pipeline — the serving counterpart of cmd/generic-train. It loads a model
+// file written by Pipeline.SaveFile (or self-trains on a named synthetic
+// benchmark for smoke testing) and exposes:
+//
+//	POST /predict        {"x":[...]} or {"xs":[[...],...]} → predicted label(s)
+//	POST /adapt          {"x":[...],"label":n} → online-learning step
+//	GET  /metrics        telemetry registry snapshot (expvar-style JSON)
+//	GET  /healthz        200 ok / 503 degraded, from the fault controller
+//	GET  /debug/pprof/*  runtime profiling
+//
+// Prediction is served concurrently (the pipeline's predict path is
+// goroutine-safe); adapt steps take an exclusive lock. SIGINT/SIGTERM drain
+// in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	generic "github.com/edge-hdc/generic"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		model   = flag.String("model", "", "trained model file (Pipeline.SaveFile format)")
+		dataset = flag.String("dataset", "", "self-train on this synthetic benchmark instead of loading a model")
+		epochs  = flag.Int("epochs", 20, "retraining epochs for -dataset self-training")
+		d       = flag.Int("d", 2048, "hypervector dimensionality for -dataset self-training")
+		seed    = flag.Uint64("seed", 1, "hypervector/dataset seed for -dataset self-training")
+		workers = flag.Int("workers", 0, "fan-out for batch /predict requests (<= 0 means GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	p, err := buildPipeline(*model, *dataset, *epochs, *d, *seed, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generic-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("generic-serve: pipeline ready (D=%d, %d classes, %d-bit)\n",
+		p.Model().D(), p.Model().Classes(), p.Model().BW())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(p, *workers).routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("generic-serve: listening on %s\n", *addr)
+
+	select {
+	case <-ctx.Done():
+		stop()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "generic-serve: shutdown:", err)
+			os.Exit(1)
+		}
+		fmt.Println("generic-serve: drained, bye")
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "generic-serve:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// buildPipeline loads the model file, or — for -dataset — trains a fresh
+// pipeline on a synthetic benchmark so smoke tests need no model artifact.
+func buildPipeline(model, dataset string, epochs, d int, seed uint64, workers int) (*generic.Pipeline, error) {
+	switch {
+	case model != "" && dataset != "":
+		return nil, errors.New("-model and -dataset are mutually exclusive")
+	case model != "":
+		p, err := generic.LoadPipelineFile(model)
+		if err != nil {
+			return nil, err
+		}
+		if !p.HasChecksum() {
+			fmt.Fprintln(os.Stderr, "generic-serve: warning: model file has no integrity footer")
+		}
+		return p, nil
+	case dataset != "":
+		ds, err := generic.LoadDataset(dataset, seed)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := generic.EncoderForDataset(generic.Generic, ds, d, seed)
+		if err != nil {
+			return nil, err
+		}
+		p := generic.NewPipeline(enc, ds.Classes)
+		start := time.Now()
+		ran, err := p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: epochs, Seed: seed, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("generic-serve: self-trained on %s in %.1fs (%d epochs)\n",
+			ds.Name, time.Since(start).Seconds(), ran)
+		return p, nil
+	default:
+		return nil, errors.New("need -model <file> or -dataset <name>")
+	}
+}

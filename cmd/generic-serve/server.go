@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	generic "github.com/edge-hdc/generic"
+	"github.com/edge-hdc/generic/internal/telemetry"
+)
+
+// Serve-level instruments, registered in the default registry so GET
+// /metrics exposes them next to the library's encode/predict histograms.
+var (
+	servePredictNS = telemetry.Default.Histogram("serve_predict_ns")
+	serveAdaptNS   = telemetry.Default.Histogram("serve_adapt_ns")
+	serveRequests  = telemetry.Default.Counter("serve_requests_total")
+	serveErrors    = telemetry.Default.Counter("serve_errors_total")
+)
+
+// maxBodyBytes bounds request payloads; a 32 MiB cap fits batches of tens of
+// thousands of samples while keeping a malformed client from exhausting
+// memory.
+const maxBodyBytes = 32 << 20
+
+// server wraps a trained pipeline for HTTP inference. Reads (predict,
+// healthz) take the read lock — Pipeline.Predict is itself safe for
+// concurrent use — while mutations (adapt) take the write lock, mirroring
+// the library's "Fit/Adapt require exclusive access" contract.
+type server struct {
+	mu       sync.RWMutex
+	pipeline *generic.Pipeline
+	workers  int
+}
+
+func newServer(p *generic.Pipeline, workers int) *server {
+	return &server{pipeline: p, workers: workers}
+}
+
+// routes builds the daemon's mux. pprof handlers are registered explicitly
+// rather than through net/http/pprof's DefaultServeMux side effects.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/adapt", s.handleAdapt)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// predictRequest accepts a single sample (x) or a batch (xs) — exactly one.
+type predictRequest struct {
+	X  []float64   `json:"x,omitempty"`
+	Xs [][]float64 `json:"xs,omitempty"`
+}
+
+// predictResponse carries "label" for single-sample requests and "labels"
+// for batches. Label is a pointer so class 0 still serializes ("label":0
+// would be dropped by omitempty on a plain int).
+type predictResponse struct {
+	Label  *int  `json:"label,omitempty"`
+	Labels []int `json:"labels,omitempty"`
+}
+
+type adaptRequest struct {
+	X     []float64 `json:"x"`
+	Label int       `json:"label"`
+}
+
+type adaptResponse struct {
+	Pred    int  `json:"pred"`
+	Updated bool `json:"updated"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := telemetry.Now()
+	serveRequests.Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req predictRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch {
+	case req.X != nil && req.Xs != nil:
+		writeError(w, http.StatusBadRequest, errors.New(`provide "x" or "xs", not both`))
+	case req.X != nil:
+		s.mu.RLock()
+		label, err := s.pipeline.Predict(req.X)
+		s.mu.RUnlock()
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, predictResponse{Label: &label})
+		servePredictNS.ObserveSince(start)
+	case req.Xs != nil:
+		s.mu.RLock()
+		labels, err := s.pipeline.PredictAll(req.Xs, generic.WithWorkers(s.workers))
+		s.mu.RUnlock()
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, predictResponse{Labels: labels})
+		servePredictNS.ObserveSince(start)
+	default:
+		writeError(w, http.StatusBadRequest, errors.New(`body needs "x" (single sample) or "xs" (batch)`))
+	}
+}
+
+func (s *server) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	start := telemetry.Now()
+	serveRequests.Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req adaptRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.X == nil {
+		writeError(w, http.StatusBadRequest, errors.New(`body needs "x" and "label"`))
+		return
+	}
+	s.mu.Lock()
+	pred, updated, err := s.pipeline.Adapt(req.X, req.Label)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, adaptResponse{Pred: pred, Updated: updated})
+	serveAdaptNS.ObserveSince(start)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	serveRequests.Inc()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := telemetry.Default.WriteJSON(w); err != nil {
+		serveErrors.Inc()
+	}
+}
+
+// healthResponse mirrors faults.Health plus the serving verdict.
+type healthResponse struct {
+	Status          string `json:"status"` // "ok" or "degraded"
+	PendingFaults   int    `json:"pending_faults"`
+	MaskedLanes     []int  `json:"masked_lanes"`
+	QuarantinedRows int    `json:"quarantined_rows"`
+	InjectedBits    int    `json:"injected_bits"`
+	EffectiveDims   int    `json:"effective_dims"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	serveRequests.Inc()
+	s.mu.RLock()
+	h, err := s.pipeline.Health()
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	resp := healthResponse{
+		Status:          "ok",
+		PendingFaults:   h.PendingFaults,
+		MaskedLanes:     h.MaskedLanes,
+		QuarantinedRows: h.QuarantinedRows,
+		InjectedBits:    h.InjectedBits,
+		EffectiveDims:   h.EffectiveDims,
+	}
+	code := http.StatusOK
+	if h.Degraded() {
+		resp.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// statusFor classifies a pipeline error: shape/label validation failures
+// are the client's fault; a pipeline that lost its model is ours.
+func statusFor(err error) int {
+	if errors.Is(err, generic.ErrNotTrained) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		serveErrors.Inc()
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	serveErrors.Inc()
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,332 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	generic "github.com/edge-hdc/generic"
+)
+
+// testPipeline trains a small two-class pipeline on a separable synthetic
+// problem, returning it with its training set.
+func testPipeline(t *testing.T) (*generic.Pipeline, [][]float64, []int) {
+	t.Helper()
+	enc, err := generic.NewEncoder(generic.Generic, generic.EncoderConfig{
+		D: 512, Features: 8, Lo: 0, Hi: 1, UseID: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var X [][]float64
+	var Y []int
+	for i := 0; i < 64; i++ {
+		x := make([]float64, 8)
+		c := i % 2
+		for j := range x {
+			if (j < 4) == (c == 0) {
+				x[j] = 0.85
+			} else {
+				x[j] = 0.15
+			}
+		}
+		X = append(X, x)
+		Y = append(Y, c)
+	}
+	p := generic.NewPipeline(enc, 2)
+	if _, err := p.Fit(X, Y, generic.TrainOptions{Epochs: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return p, X, Y
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestEndpointsRoundTrip drives every endpoint through a real HTTP stack:
+// single and batch predict, adapt, metrics, healthz (healthy, then 503 after
+// an injected bank failure, then healthy again after scrub), and pprof.
+func TestEndpointsRoundTrip(t *testing.T) {
+	p, X, Y := testPipeline(t)
+	ts := httptest.NewServer(newServer(p, 2).routes())
+	defer ts.Close()
+
+	// Single predict.
+	resp, body := postJSON(t, ts.URL+"/predict", map[string]any{"x": X[0]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single predict: %d %s", resp.StatusCode, body)
+	}
+	var single predictResponse
+	if err := json.Unmarshal(body, &single); err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := p.Predict(X[0]); single.Label == nil || *single.Label != want {
+		t.Errorf("single predict = %v, want %d", single.Label, want)
+	}
+
+	// Batch predict matches the deprecated PredictBatch form bit for bit.
+	resp, body = postJSON(t, ts.URL+"/predict", map[string]any{"xs": X})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch predict: %d %s", resp.StatusCode, body)
+	}
+	var batch predictResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.PredictBatch(X, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Labels) != len(want) {
+		t.Fatalf("batch returned %d labels, want %d", len(batch.Labels), len(want))
+	}
+	for i := range want {
+		if batch.Labels[i] != want[i] {
+			t.Errorf("batch label %d = %d, want %d", i, batch.Labels[i], want[i])
+		}
+	}
+
+	// Malformed predict bodies are client errors — including a wrong
+	// feature width, which must come back as 400, not a handler panic.
+	for _, bad := range []any{
+		map[string]any{},
+		map[string]any{"x": X[0], "xs": X},
+		map[string]any{"bogus": 1},
+		map[string]any{"x": []float64{1, 2, 3}},
+		map[string]any{"xs": [][]float64{{1, 2, 3}}},
+	} {
+		if resp, _ := postJSON(t, ts.URL+"/predict", bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad body %v: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if resp, _ := postJSON(t, ts.URL+"/adapt", adaptRequest{X: X[0], Label: 99}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("adapt with out-of-range label: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/predict"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /predict: %d, want 405", resp.StatusCode)
+	}
+
+	// Adapt round-trip.
+	resp, body = postJSON(t, ts.URL+"/adapt", adaptRequest{X: X[1], Label: Y[1]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("adapt: %d %s", resp.StatusCode, body)
+	}
+	var ar adaptResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metrics: valid JSON with nonzero encode and predict activity.
+	resp, body = get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var metrics map[string]json.RawMessage
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatalf("metrics is not valid JSON: %v\n%s", err, body)
+	}
+	for _, name := range []string{"encode_ns", "predict_ns", "serve_predict_ns", "serve_adapt_ns"} {
+		var h struct {
+			Count int64 `json:"count"`
+		}
+		if err := json.Unmarshal(metrics[name], &h); err != nil {
+			t.Fatalf("metrics[%s]: %v", name, err)
+		}
+		if h.Count == 0 {
+			t.Errorf("metrics[%s].count = 0, want nonzero", name)
+		}
+	}
+	if string(metrics["serve_requests_total"]) == "" {
+		t.Error("serve_requests_total missing from /metrics")
+	}
+
+	// Healthy before injection.
+	resp, body = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before injection: %d %s", resp.StatusCode, body)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("healthz status = %q, want ok", h.Status)
+	}
+
+	// A dead class-memory bank degrades the daemon: healthz flips to 503.
+	if _, err := p.InjectFaults(generic.FaultSpec{
+		Site: generic.FaultSiteClass, Kind: generic.FaultBankFail, Lane: 3, Seed: 9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after bank fault: %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.PendingFaults == 0 {
+		t.Errorf("degraded healthz = %+v", h)
+	}
+
+	// Scrub repairs what it can; pending faults drop to zero. The scrub may
+	// leave lanes masked or rows quarantined (still degraded) — the contract
+	// here is only that the pending count clears.
+	if _, err := p.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, ts.URL+"/healthz")
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.PendingFaults != 0 {
+		t.Errorf("pending faults after scrub = %d, want 0", h.PendingFaults)
+	}
+
+	// pprof index answers.
+	if resp, _ := get(t, ts.URL+"/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index: %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentPredict hammers POST /predict from many goroutines (run
+// under -race in CI) and checks every response is bit-identical to the
+// pipeline's own batch prediction, interleaved with adapt requests to
+// exercise the read/write lock split.
+func TestConcurrentPredict(t *testing.T) {
+	p, X, Y := testPipeline(t)
+	ts := httptest.NewServer(newServer(p, 2).routes())
+	defer ts.Close()
+
+	want, err := p.PredictAll(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adapt on already-correct samples: exercises the exclusive-lock path
+	// without changing the model, so predictions stay comparable.
+	correct := -1
+	for i := range X {
+		if want[i] == Y[i] {
+			correct = i
+			break
+		}
+	}
+	if correct < 0 {
+		t.Fatal("no correctly-predicted sample to adapt on")
+	}
+
+	const goroutines = 8
+	const perG = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				idx := (g*perG + i) % len(X)
+				if i%5 == 4 {
+					resp, _ := postJSON(t, ts.URL+"/adapt", adaptRequest{X: X[correct], Label: Y[correct]})
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("adapt status %d", resp.StatusCode)
+					}
+					continue
+				}
+				resp, body := postJSON(t, ts.URL+"/predict", map[string]any{"x": X[idx]})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("predict status %d: %s", resp.StatusCode, body)
+					continue
+				}
+				var pr predictResponse
+				if err := json.Unmarshal(body, &pr); err != nil {
+					errs <- err
+					continue
+				}
+				if pr.Label == nil || *pr.Label != want[idx] {
+					errs <- fmt.Errorf("sample %d: got %v, want %d", idx, pr.Label, want[idx])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestBuildPipelineFlags pins the flag contract: exactly one source.
+func TestBuildPipelineFlags(t *testing.T) {
+	if _, err := buildPipeline("", "", 1, 512, 1, 1); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := buildPipeline("x.model", "EEG", 1, 512, 1, 1); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("both sources: err = %v", err)
+	}
+	if _, err := buildPipeline("", "NoSuchDataset", 1, 512, 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+// TestServeModelFile round-trips a model through SaveFile → -model loading.
+func TestServeModelFile(t *testing.T) {
+	p, X, _ := testPipeline(t)
+	path := t.TempDir() + "/m.model"
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := buildPipeline(path, "", 1, 512, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(loaded, 1).routes())
+	defer ts.Close()
+	resp, body := postJSON(t, ts.URL+"/predict", map[string]any{"x": X[0]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict on loaded model: %d %s", resp.StatusCode, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := p.Predict(X[0]); pr.Label == nil || *pr.Label != want {
+		t.Errorf("loaded-model predict = %v, want %d", pr.Label, want)
+	}
+}

@@ -65,7 +65,7 @@ func main() {
 		}
 		fmt.Printf("loaded pipeline from %s (D=%d, %d classes, %d-bit)\n",
 			*load, p.Model().D(), p.Model().Classes(), p.Model().BW())
-		fmt.Printf("test accuracy: %.2f%%\n", 100*must(p.AccuracyWorkers(ds.TestX, ds.TestY, *workers)))
+		fmt.Printf("test accuracy: %.2f%%\n", 100*must(p.Accuracy(ds.TestX, ds.TestY, generic.WithWorkers(*workers))))
 		return
 	}
 
@@ -95,18 +95,22 @@ func main() {
 		ds.Name, ds.TrainLen(), ds.TestLen(), ds.Features, ds.Classes, ds.Kind)
 	p := generic.NewPipeline(enc, ds.Classes)
 	start := time.Now()
-	left := p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: *epochs, Seed: *seed, Workers: *workers})
-	fmt.Printf("trained %s/%s D=%d in %.1fs (final-epoch updates: %d)\n",
-		*kind, ds.Name, *d, time.Since(start).Seconds(), left)
-	fmt.Printf("train accuracy: %.2f%%\n", 100*must(p.AccuracyWorkers(ds.TrainX, ds.TrainY, *workers)))
-	fmt.Printf("test accuracy:  %.2f%%\n", 100*must(p.AccuracyWorkers(ds.TestX, ds.TestY, *workers)))
+	ran, err := p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: *epochs, Seed: *seed, Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generic-train:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trained %s/%s D=%d in %.1fs (%d retraining epochs)\n",
+		*kind, ds.Name, *d, time.Since(start).Seconds(), ran)
+	fmt.Printf("train accuracy: %.2f%%\n", 100*must(p.Accuracy(ds.TrainX, ds.TrainY, generic.WithWorkers(*workers))))
+	fmt.Printf("test accuracy:  %.2f%%\n", 100*must(p.Accuracy(ds.TestX, ds.TestY, generic.WithWorkers(*workers))))
 
 	if *bw > 0 {
 		if err := p.Quantize(*bw); err != nil {
 			fmt.Fprintln(os.Stderr, "generic-train:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("test accuracy @ %d-bit model: %.2f%%\n", *bw, 100*must(p.AccuracyWorkers(ds.TestX, ds.TestY, *workers)))
+		fmt.Printf("test accuracy @ %d-bit model: %.2f%%\n", *bw, 100*must(p.Accuracy(ds.TestX, ds.TestY, generic.WithWorkers(*workers))))
 	}
 	if *dims > 0 {
 		correct := 0

@@ -39,7 +39,7 @@ func main() {
 
 	// Deploy a model trained on the original sensor placement.
 	p := generic.NewPipeline(enc, ds.Classes)
-	p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: 10, Seed: 11})
+	must(p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: 10, Seed: 11}))
 	fmt.Printf("deployed accuracy: %.1f%%\n", 100*must(p.Accuracy(ds.TestX, ds.TestY)))
 
 	// The placement changes: simulate drift by negating and re-biasing the

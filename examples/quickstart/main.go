@@ -54,7 +54,9 @@ func main() {
 
 	// 2. Train: one-shot class bundling plus retraining epochs.
 	p := generic.NewPipeline(enc, 2)
-	p.Fit(trainX, trainY, generic.TrainOptions{Epochs: 10, Seed: 42})
+	if _, err := p.Fit(trainX, trainY, generic.TrainOptions{Epochs: 10, Seed: 42}); err != nil {
+		log.Fatal(err)
+	}
 
 	// 3. Predict. The trained-pipeline API returns errors (a pipeline used
 	//    before Fit reports generic.ErrNotTrained).

@@ -35,7 +35,9 @@ func main() {
 			log.Fatal(err)
 		}
 		p := generic.NewPipeline(enc, ds.Classes)
-		p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: 20, Seed: 7})
+		if _, err := p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: 20, Seed: 7}); err != nil {
+			log.Fatal(err)
+		}
 		acc, err := p.Accuracy(ds.TestX, ds.TestY)
 		if err != nil {
 			log.Fatal(err)

@@ -24,8 +24,12 @@
 //		D: 4096, Features: 64, Lo: 0, Hi: 1, UseID: true, Seed: 1,
 //	})
 //	p := generic.NewPipeline(enc, nClasses)
-//	p.Fit(trainX, trainY, generic.TrainOptions{Epochs: 20})
+//	epochs, err := p.Fit(trainX, trainY, generic.TrainOptions{Epochs: 20})
 //	label, err := p.Predict(x)
+//
+// Batch entry points take variadic options: PredictAll(X) and
+// Accuracy(X, Y) run serially, PredictAll(X, generic.WithWorkers(0)) fans
+// out across GOMAXPROCS workers with bit-identical results.
 //
 // See the examples directory for runnable end-to-end scenarios and
 // EXPERIMENTS.md for the paper-versus-measured record.
@@ -119,6 +123,29 @@ func Train(encoded []Hypervector, labels []int, classes int, opt TrainOptions) *
 	return m
 }
 
+// Option configures one call to a Pipeline batch entry point (PredictAll,
+// Accuracy, and their deprecated fixed-signature forms).
+type Option func(*callOpts)
+
+type callOpts struct {
+	workers int
+}
+
+// WithWorkers fans the call's encoding and scoring across n workers (n ≤ 0
+// means GOMAXPROCS). The default is 1 (serial); results are bit-identical
+// for every worker count.
+func WithWorkers(n int) Option {
+	return func(o *callOpts) { o.workers = n }
+}
+
+func applyOpts(opts []Option) callOpts {
+	o := callOpts{workers: 1}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
 // Pipeline couples an encoder with a model, providing the end-to-end API a
 // downstream application uses.
 //
@@ -187,25 +214,78 @@ func (p *Pipeline) Model() *Model    { return p.model }
 // Fit encodes the training set and trains the model (initialization plus
 // retraining, Fig. 1). The encoding and initialization phases fan out
 // across opt.Workers workers (0 means GOMAXPROCS, 1 forces serial); the
-// trained model is bit-identical for every worker count. It returns the
-// number of mispredictions in the final retraining epoch (0 means
-// converged).
-func (p *Pipeline) Fit(X [][]float64, Y []int, opt TrainOptions) int {
+// trained model is bit-identical for every worker count.
+//
+// Shapes are validated upfront — X and Y must be the same nonempty length,
+// every sample must carry the encoder's feature count, and labels must lie
+// in [0, classes) — so malformed input is an error here rather than a panic
+// deep inside encoding or training. It returns the number of retraining
+// epochs actually run (early convergence stops before opt.Epochs).
+func (p *Pipeline) Fit(X [][]float64, Y []int, opt TrainOptions) (int, error) {
+	if err := p.validateFit(X, Y); err != nil {
+		return 0, err
+	}
 	encoded := encoding.EncodeAllWorkers(p.enc, X, opt.Workers)
-	m, last := classifier.TrainEncoded(encoded, Y, p.classes, opt)
+	m, res := classifier.TrainEncodedResult(encoded, Y, p.classes, opt)
 	p.model = m
 	// A fault controller (if any) holds the replaced model; its guard and
 	// mask state no longer apply.
 	p.faultCtl = nil
-	return last
+	return res.EpochsRun, nil
+}
+
+// validateFit checks the training set's shape against the pipeline before
+// any encoding work starts.
+func (p *Pipeline) validateFit(X [][]float64, Y []int) error {
+	if p.classes < 2 {
+		return fmt.Errorf("generic: Fit: need at least 2 classes, pipeline has %d", p.classes)
+	}
+	if len(X) == 0 {
+		return errors.New("generic: Fit: empty training set")
+	}
+	if len(X) != len(Y) {
+		return fmt.Errorf("generic: Fit: %d samples vs %d labels", len(X), len(Y))
+	}
+	features := p.enc.Config().Features
+	for i, row := range X {
+		if len(row) != features {
+			return fmt.Errorf("generic: Fit: sample %d has %d features, encoder expects %d", i, len(row), features)
+		}
+	}
+	for i, y := range Y {
+		if y < 0 || y >= p.classes {
+			return fmt.Errorf("generic: Fit: label %d at sample %d out of range [0,%d)", y, i, p.classes)
+		}
+	}
+	return nil
+}
+
+// checkFeatures validates one sample's width against the encoder, turning
+// what would surface as an encoding panic into a caller error. A negative
+// index means a single-sample entry point.
+func (p *Pipeline) checkFeatures(op string, x []float64, i int) error {
+	if want := p.enc.Config().Features; len(x) != want {
+		if i >= 0 {
+			return fmt.Errorf("generic: %s: sample %d has %d features, encoder expects %d", op, i, len(x), want)
+		}
+		return fmt.Errorf("generic: %s: input has %d features, encoder expects %d", op, len(x), want)
+	}
+	return nil
 }
 
 // Predict classifies one input. Safe for concurrent use on a trained
-// pipeline. It returns ErrNotTrained (wrapped) before Fit.
-func (p *Pipeline) Predict(x []float64) (int, error) {
+// pipeline. It returns ErrNotTrained (wrapped) before Fit, and an error on
+// a feature-width mismatch. Options are accepted for signature symmetry
+// with the batch entry points; a single sample has nothing to fan out, so
+// WithWorkers has no effect here.
+func (p *Pipeline) Predict(x []float64, opts ...Option) (int, error) {
 	if err := p.trained("Predict"); err != nil {
 		return 0, err
 	}
+	if err := p.checkFeatures("Predict", x, -1); err != nil {
+		return 0, err
+	}
+	_ = applyOpts(opts)
 	st := p.states.Get().(*pipeState)
 	st.enc.Encode(x, st.scratch)
 	c, _ := p.model.Predict(st.scratch)
@@ -213,15 +293,31 @@ func (p *Pipeline) Predict(x []float64) (int, error) {
 	return c, nil
 }
 
-// PredictBatch classifies a batch of inputs across workers workers (≤ 0
-// means GOMAXPROCS, 1 is serial), returning predictions in input order —
-// bit-identical to calling Predict per input.
-func (p *Pipeline) PredictBatch(X [][]float64, workers int) ([]int, error) {
-	if err := p.trained("PredictBatch"); err != nil {
+// PredictAll classifies a batch of inputs, returning predictions in input
+// order. Encoding and scoring fan out across WithWorkers(n) workers
+// (default serial); predictions are bit-identical to calling Predict per
+// input for every worker count.
+func (p *Pipeline) PredictAll(X [][]float64, opts ...Option) ([]int, error) {
+	if err := p.trained("PredictAll"); err != nil {
 		return nil, err
 	}
-	encoded := encoding.EncodeAllWorkers(p.enc, X, workers)
-	return p.model.PredictBatch(encoded, workers), nil
+	for i, x := range X {
+		if err := p.checkFeatures("PredictAll", x, i); err != nil {
+			return nil, err
+		}
+	}
+	o := applyOpts(opts)
+	encoded := encoding.EncodeAllWorkers(p.enc, X, o.workers)
+	return p.model.PredictBatch(encoded, o.workers), nil
+}
+
+// PredictBatch classifies a batch of inputs across workers workers (≤ 0
+// means GOMAXPROCS, 1 is serial), returning predictions in input order.
+//
+// Deprecated: use PredictAll with WithWorkers. generic-lint's depapi check
+// flags in-repo callers of this form.
+func (p *Pipeline) PredictBatch(X [][]float64, workers int) ([]int, error) {
+	return p.PredictAll(X, WithWorkers(workers))
 }
 
 // PredictReduced classifies using only the first dims dimensions with the
@@ -229,6 +325,9 @@ func (p *Pipeline) PredictBatch(X [][]float64, workers int) ([]int, error) {
 // Safe for concurrent use on a trained pipeline.
 func (p *Pipeline) PredictReduced(x []float64, dims int) (int, error) {
 	if err := p.trained("PredictReduced"); err != nil {
+		return 0, err
+	}
+	if err := p.checkFeatures("PredictReduced", x, -1); err != nil {
 		return 0, err
 	}
 	st := p.states.Get().(*pipeState)
@@ -247,6 +346,12 @@ func (p *Pipeline) Adapt(x []float64, label int) (pred int, updated bool, err er
 	if err := p.trained("Adapt"); err != nil {
 		return 0, false, err
 	}
+	if err := p.checkFeatures("Adapt", x, -1); err != nil {
+		return 0, false, err
+	}
+	if label < 0 || label >= p.classes {
+		return 0, false, fmt.Errorf("generic: Adapt: label %d out of range [0,%d)", label, p.classes)
+	}
 	st := p.states.Get().(*pipeState)
 	st.enc.Encode(x, st.scratch)
 	pred, updated = p.model.Adapt(st.scratch, label)
@@ -257,35 +362,39 @@ func (p *Pipeline) Adapt(x []float64, label int) (pred int, updated bool, err er
 	return pred, updated, nil
 }
 
-// Accuracy scores the pipeline on a labelled set.
-func (p *Pipeline) Accuracy(X [][]float64, Y []int) (float64, error) {
-	return p.AccuracyWorkers(X, Y, 1)
-}
-
-// accuracyBlock bounds how many samples AccuracyWorkers encodes at once, so
+// accuracyBlock bounds how many samples Accuracy encodes at once, so
 // scoring a large set streams through a constant memory footprint instead
 // of materializing every hypervector.
 const accuracyBlock = 2048
 
-// AccuracyWorkers scores the pipeline on a labelled set with encoding and
-// scoring fanned across workers workers (≤ 0 means GOMAXPROCS). Samples
-// stream through in bounded blocks; the result is bit-identical to
-// Accuracy.
-func (p *Pipeline) AccuracyWorkers(X [][]float64, Y []int, workers int) (float64, error) {
-	if err := p.trained("AccuracyWorkers"); err != nil {
+// Accuracy scores the pipeline on a labelled set. Encoding and scoring fan
+// out across WithWorkers(n) workers (default serial); samples stream
+// through in bounded blocks, and the result is bit-identical for every
+// worker count. X and Y must be the same length.
+func (p *Pipeline) Accuracy(X [][]float64, Y []int, opts ...Option) (float64, error) {
+	if err := p.trained("Accuracy"); err != nil {
 		return 0, err
+	}
+	if len(X) != len(Y) {
+		return 0, fmt.Errorf("generic: Accuracy: %d samples vs %d labels", len(X), len(Y))
 	}
 	if len(X) == 0 {
 		return 0, nil
 	}
+	for i, x := range X {
+		if err := p.checkFeatures("Accuracy", x, i); err != nil {
+			return 0, err
+		}
+	}
+	o := applyOpts(opts)
 	correct := 0
 	for lo := 0; lo < len(X); lo += accuracyBlock {
 		hi := lo + accuracyBlock
 		if hi > len(X) {
 			hi = len(X)
 		}
-		encoded := encoding.EncodeAllWorkers(p.enc, X[lo:hi], workers)
-		preds := p.model.PredictBatch(encoded, workers)
+		encoded := encoding.EncodeAllWorkers(p.enc, X[lo:hi], o.workers)
+		preds := p.model.PredictBatch(encoded, o.workers)
 		for i, pred := range preds {
 			if pred == Y[lo+i] {
 				correct++
@@ -293,6 +402,15 @@ func (p *Pipeline) AccuracyWorkers(X [][]float64, Y []int, workers int) (float64
 		}
 	}
 	return float64(correct) / float64(len(X)), nil
+}
+
+// AccuracyWorkers scores the pipeline on a labelled set with encoding and
+// scoring fanned across workers workers (≤ 0 means GOMAXPROCS).
+//
+// Deprecated: use Accuracy with WithWorkers. generic-lint's depapi check
+// flags in-repo callers of this form.
+func (p *Pipeline) AccuracyWorkers(X [][]float64, Y []int, workers int) (float64, error) {
+	return p.Accuracy(X, Y, WithWorkers(workers))
 }
 
 // Quantize reduces the model's class bit-width (the accelerator's bw input).

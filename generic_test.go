@@ -45,7 +45,9 @@ func trainXor(t *testing.T) (*generic.Pipeline, [][]float64, []int) {
 		t.Fatal(err)
 	}
 	p := generic.NewPipeline(enc, 2)
-	p.Fit(X, Y, generic.TrainOptions{Epochs: 5, Seed: 1})
+	if _, err := p.Fit(X, Y, generic.TrainOptions{Epochs: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
 	return p, X, Y
 }
 

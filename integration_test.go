@@ -44,7 +44,9 @@ func TestGenericPipelineFloorsAllBenchmarks(t *testing.T) {
 				t.Fatal(err)
 			}
 			p := generic.NewPipeline(enc, ds.Classes)
-			p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: 5, Seed: 1})
+			if _, err := p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: 5, Seed: 1}); err != nil {
+				t.Fatal(err)
+			}
 			acc := must(p.Accuracy(ds.TestX, ds.TestY))
 			if floor := accuracyFloor[name]; acc < floor {
 				t.Errorf("%s: accuracy %.3f below floor %.2f", name, acc, floor)
@@ -106,7 +108,9 @@ func TestAcceleratorMatchesPipelineAcrossBenchmarks(t *testing.T) {
 			t.Fatal(err)
 		}
 		p := generic.NewPipeline(enc, ds.Classes)
-		p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: 5, Seed: 1})
+		if _, err := p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: 5, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
 		sw := must(p.Accuracy(ds.TestX, ds.TestY))
 
 		spec := generic.Spec{

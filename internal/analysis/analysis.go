@@ -19,6 +19,10 @@
 //   - dimguard:   exported internal/hdc kernels taking two hypervectors
 //     begin with a dimensionality check that panics with the
 //     "hdc:" prefix.
+//   - depapi:     repository code does not call the deprecated batch entry
+//     points (Pipeline.PredictBatch, Pipeline.AccuracyWorkers,
+//     classifier.Evaluate/EvaluateBatch) — new code uses the
+//     variadic-option forms.
 //
 // Findings can be suppressed with a staticcheck-style directive on the line
 // of, or the line immediately above, the offending node:
@@ -49,7 +53,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, EncShare, MergeOrder, DimGuard}
+	return []*Analyzer{DetRand, EncShare, MergeOrder, DimGuard, DepAPI}
 }
 
 // ByName resolves a comma-separated analyzer list ("detrand,dimguard").

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DepAPI flags in-repo callers of the deprecated batch entry points that the
+// variadic-option API replaced. The deprecated forms stay exported for
+// downstream compatibility, but new repository code must use the canonical
+// surface — one spelling per operation keeps the facade regular and lets the
+// old names retire eventually. The table is hardcoded because analyzers see
+// one package at a time and cannot read Deprecated: doc comments across
+// package boundaries.
+var DepAPI = &Analyzer{
+	Name: "depapi",
+	Doc:  "ban in-repo use of deprecated batch entry points (PredictBatch, AccuracyWorkers, classifier.Evaluate/EvaluateBatch)",
+	Run:  runDepAPI,
+}
+
+// deprecatedSym identifies one deprecated function or method by defining
+// package name, receiver type (empty for package-level functions), and name.
+type deprecatedSym struct {
+	pkgName string
+	recv    string
+	name    string
+	use     string // canonical replacement, shown in the finding
+}
+
+var deprecatedSyms = []deprecatedSym{
+	{"generic", "Pipeline", "PredictBatch", "PredictAll(X, WithWorkers(n))"},
+	{"generic", "Pipeline", "AccuracyWorkers", "Accuracy(X, Y, WithWorkers(n))"},
+	{"classifier", "", "Evaluate", "classifier.Accuracy(m, encoded, labels, 1)"},
+	{"classifier", "", "EvaluateBatch", "classifier.Accuracy(m, encoded, labels, workers)"},
+}
+
+func runDepAPI(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+				// Unresolved, or a call inside the defining package — the
+				// deprecated wrappers themselves are exempt.
+				return true
+			}
+			for _, d := range deprecatedSyms {
+				if fn.Name() != d.name || fn.Pkg().Name() != d.pkgName || recvTypeName(fn) != d.recv {
+					continue
+				}
+				pass.Reportf(call.Pos(), "%s is deprecated: use %s", symString(d), d.use)
+				break
+			}
+			return true
+		})
+	}
+}
+
+// recvTypeName returns the name of a method's receiver type, or "" for a
+// package-level function.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+func symString(d deprecatedSym) string {
+	if d.recv != "" {
+		return d.recv + "." + d.name
+	}
+	return d.pkgName + "." + d.name
+}

@@ -8,7 +8,9 @@ import (
 
 // DetRand enforces the replayability contract on model-state-affecting code:
 // every package under internal/ except internal/rng (the sanctioned
-// randomness source) and internal/analysis (this linter).
+// randomness source), internal/analysis (this linter), and
+// internal/telemetry (the observability clock — latency measurement needs
+// the wall clock, and telemetry values never feed back into model state).
 //
 // Three constructs are banned there:
 //
@@ -34,7 +36,7 @@ var DetRand = &Analyzer{
 }
 
 func runDetRand(pass *Pass) {
-	if !pass.InternalPkg("rng", "analysis") {
+	if !pass.InternalPkg("rng", "analysis", "telemetry") {
 		return
 	}
 	for _, file := range pass.Files {

@@ -1,0 +1,42 @@
+// Package serveapp is a golden fixture for the generic/depapi rule: calls to
+// the deprecated fixed-signature batch methods of the facade Pipeline are
+// flagged outside their defining package, while the canonical
+// variadic-option forms and same-name methods on unrelated types stay
+// silent.
+package serveapp
+
+import (
+	generic "github.com/edge-hdc/generic"
+)
+
+// DeprecatedCalls exercises both deprecated Pipeline methods: flagged.
+func DeprecatedCalls(p *generic.Pipeline, X [][]float64, Y []int) {
+	p.PredictBatch(X, 4)       // want generic/depapi
+	p.AccuracyWorkers(X, Y, 2) // want generic/depapi
+}
+
+// CanonicalCalls uses the variadic-option surface: silent.
+func CanonicalCalls(p *generic.Pipeline, X [][]float64, Y []int) {
+	p.PredictAll(X, generic.WithWorkers(4))
+	p.Accuracy(X, Y, generic.WithWorkers(2))
+	p.Predict(X[0])
+}
+
+// Local is an unrelated type that happens to share the deprecated method
+// names; calling them is not a finding.
+type Local struct{}
+
+func (Local) PredictBatch(X [][]float64, workers int) []int         { return nil }
+func (Local) AccuracyWorkers(X [][]float64, Y []int, w int) float64 { return 0 }
+func (Local) Evaluate(X [][]float64, Y []int) float64               { return 0 }
+func UnrelatedReceivers(l Local, X [][]float64, Y []int) {
+	l.PredictBatch(X, 4)
+	l.AccuracyWorkers(X, Y, 2)
+	l.Evaluate(X, Y)
+}
+
+// Suppressed documents the sanctioned escape hatch.
+func Suppressed(p *generic.Pipeline, X [][]float64) {
+	//lint:ignore generic/depapi compatibility shim measured against the old surface
+	p.PredictBatch(X, 4)
+}

@@ -1,0 +1,22 @@
+// Package expt is a golden fixture for the generic/depapi rule on the
+// internal classifier surface: Evaluate and EvaluateBatch are deprecated in
+// favor of classifier.Accuracy.
+package expt
+
+import (
+	"github.com/edge-hdc/generic/internal/classifier"
+	"github.com/edge-hdc/generic/internal/hdc"
+)
+
+// DeprecatedCalls uses both deprecated forms: flagged.
+func DeprecatedCalls(m *classifier.Model, enc []hdc.Vec, labels []int) (float64, float64) {
+	a := classifier.Evaluate(m, enc, labels)         // want generic/depapi
+	b := classifier.EvaluateBatch(m, enc, labels, 4) // want generic/depapi
+	return a, b
+}
+
+// CanonicalCalls uses the replacement surface: silent.
+func CanonicalCalls(m *classifier.Model, enc []hdc.Vec, labels []int) float64 {
+	_ = classifier.EvaluateDims(m, enc, labels, 128, true)
+	return classifier.Accuracy(m, enc, labels, 4)
+}

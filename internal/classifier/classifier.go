@@ -14,6 +14,7 @@ import (
 	"github.com/edge-hdc/generic/internal/hdc"
 	"github.com/edge-hdc/generic/internal/parallel"
 	"github.com/edge-hdc/generic/internal/rng"
+	"github.com/edge-hdc/generic/internal/telemetry"
 )
 
 // SubNormGranularity is the dimension granularity at which GENERIC stores
@@ -163,6 +164,7 @@ func (m *Model) Predict(h hdc.Vec) (class int, score float64) {
 // (the paper's fix); when false the full-model norms are used (the
 // "Constant" curves of Fig. 5, which lose up to 20% accuracy).
 func (m *Model) PredictDims(h hdc.Vec, dims int, updatedNorms bool) (class int, score float64) {
+	start := telemetry.Now()
 	if dims > m.d {
 		dims = m.d
 	}
@@ -185,6 +187,7 @@ func (m *Model) PredictDims(h hdc.Vec, dims int, updatedNorms bool) (class int, 
 			best, bestScore = c, s
 		}
 	}
+	telemetry.PredictNS.ObserveSince(start)
 	return best, bestScore
 }
 
@@ -289,12 +292,15 @@ func (m *Model) InjectBitErrors(ber float64, r *rng.Rand) int {
 // streaming path of the paper's IoT-gateway scenario: the model keeps
 // improving from labelled feedback without a batch retraining pass.
 func (m *Model) Adapt(h hdc.Vec, label int) (pred int, updated bool) {
+	start := telemetry.Now()
 	pred, _ = m.Predict(h)
 	if pred != label {
 		m.Update(h, label, pred)
-		return pred, true
+		updated = true
+		telemetry.AdaptUpdates.Inc()
 	}
-	return pred, false
+	telemetry.AdaptNS.ObserveSince(start)
+	return pred, updated
 }
 
 // InjectBitErrorsSeeded is InjectBitErrors with a self-contained seed, for
@@ -319,6 +325,16 @@ func (m *Model) Clone() *Model {
 	return c
 }
 
+// TrainResult reports how a training run went.
+type TrainResult struct {
+	// EpochsRun is the number of retraining epochs executed — at most
+	// opt.Epochs, fewer when the model converges early.
+	EpochsRun int
+	// FinalUpdates is the number of misprediction updates in the last epoch
+	// run (zero means the model converged).
+	FinalUpdates int
+}
+
 // TrainEncoded builds a model from pre-encoded hypervectors: one-shot class
 // bundling followed by opt.Epochs retraining passes. Labels must lie in
 // [0, nC). The number of misprediction updates in the final epoch is
@@ -329,6 +345,14 @@ func (m *Model) Clone() *Model {
 // order-independent, so the model is bit-identical to a serial build);
 // retraining is sequential by construction.
 func TrainEncoded(encoded []hdc.Vec, labels []int, nC int, opt Options) (*Model, int) {
+	m, res := TrainEncodedResult(encoded, labels, nC, opt)
+	return m, res.FinalUpdates
+}
+
+// TrainEncodedResult is TrainEncoded reporting the full TrainResult — the
+// form Pipeline.Fit builds on.
+func TrainEncodedResult(encoded []hdc.Vec, labels []int, nC int, opt Options) (*Model, TrainResult) {
+	start := telemetry.Now()
 	opt = opt.withDefaults()
 	if len(encoded) == 0 || len(encoded) != len(labels) {
 		panic("classifier: encoded/labels size mismatch or empty")
@@ -371,7 +395,7 @@ func TrainEncoded(encoded []hdc.Vec, labels []int, nC int, opt Options) (*Model,
 	for i := range order {
 		order[i] = i
 	}
-	lastUpdates := 0
+	res := TrainResult{}
 	for e := 0; e < opt.Epochs; e++ {
 		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		updates := 0
@@ -382,12 +406,16 @@ func TrainEncoded(encoded []hdc.Vec, labels []int, nC int, opt Options) (*Model,
 				updates++
 			}
 		}
-		lastUpdates = updates
+		res.EpochsRun = e + 1
+		res.FinalUpdates = updates
 		if updates == 0 {
 			break
 		}
 	}
-	return m, lastUpdates
+	telemetry.FitEpochs.Add(int64(res.EpochsRun))
+	telemetry.FitSamples.Add(int64(len(encoded)))
+	telemetry.FitNS.ObserveSince(start)
+	return m, res
 }
 
 // PredictBatch classifies every encoded query across workers workers
@@ -408,17 +436,33 @@ func (m *Model) PredictDimsBatch(encoded []hdc.Vec, dims int, updatedNorms bool,
 	return out
 }
 
+// Accuracy returns the fraction of encoded queries whose prediction matches
+// labels, with the scoring fanned across workers workers (<= 0 means
+// GOMAXPROCS, 1 is serial). It is the canonical batch scorer — the single
+// form behind the facade's Pipeline.Accuracy — and is bit-identical for
+// every worker count: each worker counts its own contiguous chunk and the
+// counts are summed.
+func Accuracy(m *Model, encoded []hdc.Vec, labels []int, workers int) float64 {
+	return EvaluateDimsBatch(m, encoded, labels, m.d, true, workers)
+}
+
 // Evaluate returns the fraction of encoded queries whose prediction matches
 // labels.
+//
+// Deprecated: use Accuracy with workers 1. Kept as a thin wrapper for
+// compatibility; generic-lint's depapi check flags in-tree callers.
 func Evaluate(m *Model, encoded []hdc.Vec, labels []int) float64 {
-	return EvaluateBatch(m, encoded, labels, 1)
+	return Accuracy(m, encoded, labels, 1)
 }
 
 // EvaluateBatch is Evaluate with the scoring fanned across workers workers
-// (<= 0 means GOMAXPROCS). The accuracy is bit-identical to serial: each
-// worker counts its own contiguous chunk and the counts are summed.
+// (<= 0 means GOMAXPROCS).
+//
+// Deprecated: use Accuracy, which it delegates to unchanged. Kept as a thin
+// wrapper for compatibility; generic-lint's depapi check flags in-tree
+// callers.
 func EvaluateBatch(m *Model, encoded []hdc.Vec, labels []int, workers int) float64 {
-	return EvaluateDimsBatch(m, encoded, labels, m.d, true, workers)
+	return Accuracy(m, encoded, labels, workers)
 }
 
 // EvaluateDims is Evaluate under dimension reduction (see PredictDims).

@@ -11,6 +11,7 @@ import (
 	"github.com/edge-hdc/generic/internal/hdc"
 	"github.com/edge-hdc/generic/internal/parallel"
 	"github.com/edge-hdc/generic/internal/rng"
+	"github.com/edge-hdc/generic/internal/telemetry"
 )
 
 // HDCResult holds the outcome of HDC clustering.
@@ -82,6 +83,7 @@ func HDCWorkers(encoded []hdc.Vec, k, epochs, workers int) *HDCResult {
 	}
 	assign := make([]int, len(encoded))
 	for e := 0; e < epochs; e++ {
+		epochStart := telemetry.Now()
 		partials := make([]epochPartial, workers)
 		parallel.ForChunks(workers, len(encoded), func(w, lo, hi int) {
 			copies := make([]hdc.Vec, k)
@@ -114,6 +116,8 @@ func HDCWorkers(encoded []hdc.Vec, k, epochs, workers int) *HDCResult {
 			} // empty centroid keeps its previous hypervector
 		}
 		refresh()
+		telemetry.ClusterAssigns.Add(int64(len(encoded)))
+		telemetry.ClusterEpochNS.ObserveSince(epochStart)
 	}
 	// Final assignment pass against the final model.
 	parallel.For(workers, len(encoded), func(_, i int) {

@@ -13,6 +13,7 @@ import (
 
 	"github.com/edge-hdc/generic/internal/hdc"
 	"github.com/edge-hdc/generic/internal/rng"
+	"github.com/edge-hdc/generic/internal/telemetry"
 )
 
 // Kind selects an encoding family.
@@ -137,6 +138,8 @@ func MustNew(kind Kind, cfg Config) Encoder {
 
 // EncodeAll encodes every row of X into a slice of fresh hypervectors.
 func EncodeAll(e Encoder, X [][]float64) []hdc.Vec {
+	telemetry.EncodeBatches.Inc()
+	telemetry.EncodeBatchSamples.Add(int64(len(X)))
 	out := make([]hdc.Vec, len(X))
 	for i, x := range X {
 		out[i] = hdc.NewVec(e.D())
@@ -183,6 +186,7 @@ func (e *rpEncoder) Kind() Kind     { return RP }
 func (e *rpEncoder) Config() Config { return e.cfg }
 
 func (e *rpEncoder) Encode(x []float64, out hdc.Vec) {
+	start := telemetry.Now()
 	checkEncodeArgs(len(e.rows), e.d, x, out)
 	acc := make([]float64, e.d)
 	for m, v := range x {
@@ -201,6 +205,7 @@ func (e *rpEncoder) Encode(x []float64, out hdc.Vec) {
 			out[i] = -1
 		}
 	}
+	telemetry.EncodeNS.ObserveSince(start)
 }
 
 // ---------------------------------------------------------------------------
@@ -231,6 +236,7 @@ func (e *levelIDEncoder) Kind() Kind     { return LevelID }
 func (e *levelIDEncoder) Config() Config { return e.cfg }
 
 func (e *levelIDEncoder) Encode(x []float64, out hdc.Vec) {
+	start := telemetry.Now()
 	checkEncodeArgs(len(e.ids), e.cfg.D, x, out)
 	e.acc.Reset()
 	for m, v := range x {
@@ -239,6 +245,7 @@ func (e *levelIDEncoder) Encode(x []float64, out hdc.Vec) {
 		e.acc.Add(e.bound)
 	}
 	e.acc.Bipolar(out)
+	telemetry.EncodeNS.ObserveSince(start)
 }
 
 // ---------------------------------------------------------------------------
@@ -266,6 +273,7 @@ func (e *permuteEncoder) Kind() Kind     { return Permute }
 func (e *permuteEncoder) Config() Config { return e.cfg }
 
 func (e *permuteEncoder) Encode(x []float64, out hdc.Vec) {
+	start := telemetry.Now()
 	checkEncodeArgs(e.cfg.Features, e.cfg.D, x, out)
 	e.acc.Reset()
 	for m, v := range x {
@@ -274,6 +282,7 @@ func (e *permuteEncoder) Encode(x []float64, out hdc.Vec) {
 		e.acc.Add(e.rot)
 	}
 	e.acc.Bipolar(out)
+	telemetry.EncodeNS.ObserveSince(start)
 }
 
 // ---------------------------------------------------------------------------
@@ -326,6 +335,7 @@ func (e *windowedEncoder) Kind() Kind {
 }
 
 func (e *windowedEncoder) Encode(x []float64, out hdc.Vec) {
+	start := telemetry.Now()
 	checkEncodeArgs(e.cfg.Features, e.cfg.D, x, out)
 	e.acc.Reset()
 	n := e.cfg.N
@@ -344,6 +354,7 @@ func (e *windowedEncoder) Encode(x []float64, out hdc.Vec) {
 		e.acc.Add(e.win)
 	}
 	e.acc.Bipolar(out)
+	telemetry.EncodeNS.ObserveSince(start)
 }
 
 func checkEncodeArgs(features, d int, x []float64, out hdc.Vec) {

@@ -43,7 +43,7 @@ func ablationEval(ds *dataset.Dataset, cfg Config, n, bins int, useID bool) (flo
 	m, _ := classifier.TrainEncoded(trainH, ds.TrainY, ds.Classes, classifier.Options{
 		Epochs: cfg.Epochs, Seed: cfg.Seed, Workers: cfg.Workers,
 	})
-	return classifier.EvaluateBatch(m, testH, ds.TestY, cfg.Workers), nil
+	return classifier.Accuracy(m, testH, ds.TestY, cfg.Workers), nil
 }
 
 // AblationWindowResult sweeps the window length n.

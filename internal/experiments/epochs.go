@@ -47,7 +47,7 @@ func EpochSaturation(cfg Config) (*EpochCurve, error) {
 			m, _ := classifier.TrainEncoded(trainH, ds.TrainY, ds.Classes, classifier.Options{
 				Epochs: e, Seed: cfg.Seed, Workers: cfg.Workers,
 			})
-			accs[i] = append(accs[i], classifier.EvaluateBatch(m, testH, ds.TestY, cfg.Workers))
+			accs[i] = append(accs[i], classifier.Accuracy(m, testH, ds.TestY, cfg.Workers))
 		}
 		return nil
 	})

@@ -75,7 +75,7 @@ func Figure6(cfg Config) (*Fig6Result, error) {
 				m := base.Clone()
 				m.Quantize(bw)
 				m.InjectBitErrors(ber, faultRNG)
-				pt.Accuracy[bw] = classifier.EvaluateBatch(m, testH, ds.TestY, cfg.Workers)
+				pt.Accuracy[bw] = classifier.Accuracy(m, testH, ds.TestY, cfg.Workers)
 			}
 			curve.Points = append(curve.Points, pt)
 		}

@@ -84,7 +84,7 @@ func Resilience(cfg Config) (*ResilienceResult, error) {
 		Dataset:  ds.Name,
 		D:        cfg.D,
 		Seed:     cfg.Seed,
-		Baseline: classifier.EvaluateBatch(base, testH, ds.TestY, cfg.Workers),
+		Baseline: classifier.Accuracy(base, testH, ds.TestY, cfg.Workers),
 	}
 
 	// evaluate scores the model against the current encoder state: when the
@@ -95,7 +95,7 @@ func Resilience(cfg Config) (*ResilienceResult, error) {
 		if reEncode {
 			h = encoding.EncodeAllWorkers(enc, ds.TestX, cfg.Workers)
 		}
-		return classifier.EvaluateBatch(m, h, ds.TestY, cfg.Workers)
+		return classifier.Accuracy(m, h, ds.TestY, cfg.Workers)
 	}
 
 	// The site × BER sweep stays serial: level/id cells mutate the shared

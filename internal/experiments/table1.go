@@ -81,7 +81,7 @@ func table1Dataset(name string, cfg Config) (Table1Row, error) {
 		m, _ := classifier.TrainEncoded(trainH, ds.TrainY, ds.Classes, classifier.Options{
 			Epochs: cfg.Epochs, Seed: cfg.Seed, Workers: cfg.Workers,
 		})
-		return classifier.EvaluateBatch(m, testH, ds.TestY, cfg.Workers), nil
+		return classifier.Accuracy(m, testH, ds.TestY, cfg.Workers), nil
 	}
 	if row.RP, err = hdcAcc(encoding.RP); err != nil {
 		return row, err
@@ -102,7 +102,7 @@ func table1Dataset(name string, cfg Config) (Table1Row, error) {
 	// Classical baselines on standardized features.
 	trainX, testX := ds.Normalized()
 	evalML := func(c ml.Classifier) float64 {
-		return metrics.Accuracy(ml.PredictAll(c, testX), ds.TestY)
+		return metrics.MustAccuracy(ml.PredictAll(c, testX), ds.TestY)
 	}
 	mlpEpochs, dnnEpochs, trees := 40, 60, 100
 	if cfg.Quick {

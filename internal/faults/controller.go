@@ -8,6 +8,7 @@ import (
 	"github.com/edge-hdc/generic/internal/encoding"
 	"github.com/edge-hdc/generic/internal/hdc"
 	"github.com/edge-hdc/generic/internal/rng"
+	"github.com/edge-hdc/generic/internal/telemetry"
 )
 
 // ErrNoIDMemory is returned when a SiteID spec targets an encoder without id
@@ -29,6 +30,7 @@ type Controller struct {
 
 	guard        *Guard
 	injectedBits int
+	pending      int // injections since the last scrub
 	quarantined  int
 	masked       [Lanes]bool
 	history      []string
@@ -99,7 +101,11 @@ func (c *Controller) Inject(spec Spec) (int, error) {
 		return 0, fmt.Errorf("faults: invalid site %d", int(spec.Site))
 	}
 	c.injectedBits += n
+	c.pending++
 	c.history = append(c.history, spec.String())
+	telemetry.FaultInjections.Inc()
+	telemetry.FaultBits.Add(int64(n))
+	telemetry.FaultPending.Set(int64(c.pending))
 	return n, nil
 }
 
@@ -153,6 +159,7 @@ func (r ScrubReport) String() string {
 // Without an active guard (nothing injected since the last legitimate
 // mutation) the class memory is trusted as-is; step 3 still runs.
 func (c *Controller) Scrub() ScrubReport {
+	start := telemetry.Now()
 	var rep ScrubReport
 	if c.enc != nil {
 		c.enc.Regenerate()
@@ -207,6 +214,11 @@ func (c *Controller) Scrub() ScrubReport {
 	} else {
 		c.guard.Resync(c.model)
 	}
+	c.pending = 0
+	telemetry.Scrubs.Inc()
+	telemetry.FaultPending.Set(0)
+	telemetry.FaultMaskedLanes.Set(int64(c.MaskedLaneCount()))
+	telemetry.ScrubNS.ObserveSince(start)
 	return rep
 }
 
@@ -218,6 +230,9 @@ type Health struct {
 	InjectedBits int
 	// QuarantinedRows counts (class, lane) columns zeroed across all scrubs.
 	QuarantinedRows int
+	// PendingFaults counts injections applied since the last scrub — the
+	// corruption a scrub-and-repair pass has not yet seen.
+	PendingFaults int
 	// MaskedLanes lists dead class-memory banks in ascending order.
 	MaskedLanes []int
 	// EffectiveDims is the dimensionality still contributing to scores
@@ -228,8 +243,15 @@ type Health struct {
 }
 
 func (h Health) String() string {
-	return fmt.Sprintf("faults=%d bits=%d maskedLanes=%v effectiveD=%d quarantined=%d guard=%v",
-		len(h.Faults), h.InjectedBits, h.MaskedLanes, h.EffectiveDims, h.QuarantinedRows, h.GuardActive)
+	return fmt.Sprintf("faults=%d bits=%d pending=%d maskedLanes=%v effectiveD=%d quarantined=%d guard=%v",
+		len(h.Faults), h.InjectedBits, h.PendingFaults, h.MaskedLanes, h.EffectiveDims, h.QuarantinedRows, h.GuardActive)
+}
+
+// Degraded reports whether the engine is running with known or suspected
+// damage: unscrubbed injections, dead (masked) banks, or quarantined columns.
+// Serving layers map this to a not-ready health status.
+func (h Health) Degraded() bool {
+	return h.PendingFaults > 0 || len(h.MaskedLanes) > 0 || h.QuarantinedRows > 0
 }
 
 // Health reports the current fault state.
@@ -237,6 +259,7 @@ func (c *Controller) Health() Health {
 	h := Health{
 		GuardActive:     c.guard != nil,
 		InjectedBits:    c.injectedBits,
+		PendingFaults:   c.pending,
 		QuarantinedRows: c.quarantined,
 		Faults:          append([]string(nil), c.history...),
 	}

@@ -100,7 +100,7 @@ func TestInferMatchesClassifier(t *testing.T) {
 		}
 		preds[i] = pred
 	}
-	if acc := metrics.Accuracy(preds, ds.TestY[:100]); acc < 0.85 {
+	if acc := metrics.MustAccuracy(preds, ds.TestY[:100]); acc < 0.85 {
 		t.Errorf("processor inference accuracy = %.3f, want ≥ 0.85", acc)
 	}
 	// Against a reference using the SAME encodings and the SAME integer

@@ -9,14 +9,14 @@ import (
 	"sort"
 )
 
-// Accuracy returns the fraction of predictions equal to labels.
-// It panics on length mismatch and returns 0 for empty input.
-func Accuracy(pred, labels []int) float64 {
+// Accuracy returns the fraction of predictions equal to labels. A length
+// mismatch is an error; empty input scores 0.
+func Accuracy(pred, labels []int) (float64, error) {
 	if len(pred) != len(labels) {
-		panic(fmt.Sprintf("metrics: %d predictions vs %d labels", len(pred), len(labels)))
+		return 0, fmt.Errorf("metrics: %d predictions vs %d labels", len(pred), len(labels))
 	}
 	if len(pred) == 0 {
-		return 0
+		return 0, nil
 	}
 	correct := 0
 	for i, p := range pred {
@@ -24,14 +24,26 @@ func Accuracy(pred, labels []int) float64 {
 			correct++
 		}
 	}
-	return float64(correct) / float64(len(pred))
+	return float64(correct) / float64(len(pred)), nil
+}
+
+// MustAccuracy is Accuracy for call sites where the lengths are correct by
+// construction (e.g. predictions just computed from the labeled set); it
+// panics on error.
+func MustAccuracy(pred, labels []int) float64 {
+	a, err := Accuracy(pred, labels)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 // Confusion returns the confusion matrix C where C[true][pred] counts
-// samples. Classes are sized by the largest index seen.
-func Confusion(pred, labels []int) [][]int {
+// samples. Classes are sized by the largest index seen. A length mismatch
+// is an error.
+func Confusion(pred, labels []int) ([][]int, error) {
 	if len(pred) != len(labels) {
-		panic("metrics: Confusion length mismatch")
+		return nil, fmt.Errorf("metrics: Confusion: %d predictions vs %d labels", len(pred), len(labels))
 	}
 	n := 0
 	for i := range pred {
@@ -48,6 +60,15 @@ func Confusion(pred, labels []int) [][]int {
 	}
 	for i := range pred {
 		c[labels[i]][pred[i]]++
+	}
+	return c, nil
+}
+
+// MustConfusion is Confusion that panics on error.
+func MustConfusion(pred, labels []int) [][]int {
+	c, err := Confusion(pred, labels)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }
@@ -142,9 +163,13 @@ type ClassReport struct {
 	MacroF1   float64
 }
 
-// PerClass computes the per-class report from predictions and labels.
-func PerClass(pred, labels []int) ClassReport {
-	conf := Confusion(pred, labels)
+// PerClass computes the per-class report from predictions and labels. A
+// length mismatch is an error.
+func PerClass(pred, labels []int) (ClassReport, error) {
+	conf, err := Confusion(pred, labels)
+	if err != nil {
+		return ClassReport{}, err
+	}
 	n := len(conf)
 	r := ClassReport{
 		Precision: make([]float64, n),
@@ -172,7 +197,7 @@ func PerClass(pred, labels []int) ClassReport {
 		}
 	}
 	r.MacroF1 = Mean(r.F1)
-	return r
+	return r, nil
 }
 
 // GeoMean returns the geometric mean of positive values, the aggregation

@@ -9,25 +9,38 @@ import (
 )
 
 func TestAccuracy(t *testing.T) {
-	if a := Accuracy([]int{1, 2, 3}, []int{1, 2, 4}); math.Abs(a-2.0/3) > 1e-12 {
-		t.Fatalf("Accuracy = %v, want 2/3", a)
+	a, err := Accuracy([]int{1, 2, 3}, []int{1, 2, 4})
+	if err != nil || math.Abs(a-2.0/3) > 1e-12 {
+		t.Fatalf("Accuracy = %v, %v, want 2/3", a, err)
 	}
-	if a := Accuracy(nil, nil); a != 0 {
-		t.Fatalf("empty accuracy = %v", a)
+	if a, err := Accuracy(nil, nil); err != nil || a != 0 {
+		t.Fatalf("empty accuracy = %v, %v", a, err)
+	}
+	if a := MustAccuracy([]int{1, 2}, []int{1, 2}); a != 1 {
+		t.Fatalf("MustAccuracy = %v, want 1", a)
 	}
 }
 
-func TestAccuracyPanics(t *testing.T) {
+func TestAccuracyLengthMismatch(t *testing.T) {
+	if _, err := Accuracy([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch did not error")
+	}
+	if _, err := Confusion([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("Confusion length mismatch did not error")
+	}
+	if _, err := PerClass([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("PerClass length mismatch did not error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("length mismatch did not panic")
+			t.Fatal("MustAccuracy did not panic on mismatch")
 		}
 	}()
-	Accuracy([]int{1}, []int{1, 2})
+	MustAccuracy([]int{1}, []int{1, 2})
 }
 
 func TestConfusion(t *testing.T) {
-	c := Confusion([]int{0, 1, 1, 2}, []int{0, 1, 2, 2})
+	c := MustConfusion([]int{0, 1, 1, 2}, []int{0, 1, 2, 2})
 	if c[0][0] != 1 || c[1][1] != 1 || c[2][1] != 1 || c[2][2] != 1 {
 		t.Fatalf("confusion wrong: %v", c)
 	}
@@ -119,7 +132,10 @@ func TestMeanStdDev(t *testing.T) {
 
 func TestPerClassPerfect(t *testing.T) {
 	pred := []int{0, 1, 2, 0, 1, 2}
-	r := PerClass(pred, pred)
+	r, err := PerClass(pred, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for c := 0; c < 3; c++ {
 		if r.Precision[c] != 1 || r.Recall[c] != 1 || r.F1[c] != 1 {
 			t.Fatalf("class %d not perfect: %+v", c, r)
@@ -135,7 +151,10 @@ func TestPerClassKnownValues(t *testing.T) {
 	// Class 0 truth appears 2 times, 2 found → recall 1.
 	labels := []int{0, 0, 1, 1, 1}
 	pred := []int{0, 0, 0, 1, 1}
-	r := PerClass(pred, labels)
+	r, err := PerClass(pred, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(r.Precision[0]-2.0/3) > 1e-12 || r.Recall[0] != 1 {
 		t.Fatalf("class 0: P=%v R=%v", r.Precision[0], r.Recall[0])
 	}
@@ -156,7 +175,10 @@ func TestPerClassAbsentClass(t *testing.T) {
 	// metrics must stay finite (zero), not NaN.
 	labels := []int{0, 1, 2}
 	pred := []int{0, 1, 0}
-	r := PerClass(pred, labels)
+	r, err := PerClass(pred, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Recall[2] != 0 || r.F1[2] != 0 {
 		t.Fatalf("absent class metrics: %+v", r)
 	}

@@ -115,7 +115,7 @@ func TestTrainOnAcceleratorReachesAccuracy(t *testing.T) {
 	acc := MustNewWithRange(eegSpec(), 7, ds.Lo, ds.Hi)
 	acc.Train(ds.TrainX, ds.TrainY, 10)
 	preds := acc.InferAll(ds.TestX)
-	if a := metrics.Accuracy(preds, ds.TestY); a < 0.72 {
+	if a := metrics.MustAccuracy(preds, ds.TestY); a < 0.72 {
 		t.Errorf("on-accelerator training accuracy = %.3f, want > 0.72", a)
 	}
 }

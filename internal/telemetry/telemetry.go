@@ -1,0 +1,306 @@
+// Package telemetry is the runtime observability layer of the engine: cheap
+// always-on instruments (atomic counters, gauges, fixed-bucket latency
+// histograms) threaded through every hot path — encoding, classification,
+// training, clustering, fault management, and the accelerator simulation —
+// plus a deterministic JSON exposition that cmd/generic-serve publishes on
+// GET /metrics.
+//
+// The package is stdlib-only and allocation-free on the hot path: an
+// observation is two monotonic-clock reads and a handful of atomic adds, so
+// instrumented kernels stay within the repository's <5% overhead budget.
+// Every type is safe for concurrent use.
+//
+// Unlike the rest of internal/, telemetry is sanctioned to read the wall
+// clock (see the detrand analyzer's skip list): observed durations feed
+// operator dashboards, never model state, so replayability is unaffected.
+// Model-state code must keep drawing time only through explicit seeds.
+//
+// Exposition is expvar-compatible: Registry, Counter, Gauge, and Histogram
+// all implement the expvar.Var contract (String() returning valid JSON), so
+// a registry can be expvar.Publish'ed as one composite var. Keys are emitted
+// in sorted order and histograms list only their populated buckets, making
+// snapshots stable enough for golden tests.
+package telemetry
+
+import (
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// epoch anchors the package's monotonic clock; Now measures against it.
+var epoch = time.Now()
+
+// Now returns the telemetry clock in nanoseconds: monotonic, comparable only
+// to other Now values. Pair with Histogram.ObserveSince.
+func Now() int64 { return int64(time.Since(epoch)) }
+
+// A Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n; Inc by one.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+func (c *Counter) Inc()        { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// String renders the counter as its expvar JSON value.
+func (c *Counter) String() string { return strconv.FormatInt(c.Value(), 10) }
+
+func (c *Counter) appendJSON(b []byte) []byte { return strconv.AppendInt(b, c.Value(), 10) }
+func (c *Counter) reset()                     { c.v.Store(0) }
+
+// A Gauge is an atomic point-in-time value (e.g. masked lanes, queue depth).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value; Add moves it by n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// String renders the gauge as its expvar JSON value.
+func (g *Gauge) String() string { return strconv.FormatInt(g.Value(), 10) }
+
+func (g *Gauge) appendJSON(b []byte) []byte { return strconv.AppendInt(b, g.Value(), 10) }
+func (g *Gauge) reset()                     { g.v.Store(0) }
+
+// Histogram bucket layout: power-of-two upper bounds from 2^histMinShift ns
+// (512 ns) through 2^(histMinShift+histBuckets-1) ns (~4.3 s), plus one
+// overflow bucket. Fixed at compile time so Observe is branch-light and the
+// exposition never allocates bucket metadata.
+const (
+	histMinShift = 9
+	histBuckets  = 23
+)
+
+// A Histogram is a fixed-bucket latency histogram over nanosecond
+// durations. Observations are lock-free atomic adds.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets + 1]atomic.Int64
+}
+
+// bucketIndex maps a duration to its bucket: the smallest power-of-two upper
+// bound that holds it, saturating into the overflow bucket.
+func bucketIndex(ns int64) int {
+	if ns <= 1<<histMinShift {
+		return 0
+	}
+	i := bits.Len64(uint64(ns-1)) - histMinShift
+	if i > histBuckets {
+		i = histBuckets
+	}
+	return i
+}
+
+// Observe records one duration in nanoseconds (negative clamps to zero).
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// ObserveSince records the time elapsed since start (a Now value).
+func (h *Histogram) ObserveSince(start int64) { h.Observe(Now() - start) }
+
+// Count returns the number of observations; SumNanos their total duration.
+func (h *Histogram) Count() int64    { return h.count.Load() }
+func (h *Histogram) SumNanos() int64 { return h.sum.Load() }
+
+// BucketBound returns bucket i's inclusive upper bound in nanoseconds, or -1
+// for the overflow bucket.
+func BucketBound(i int) int64 {
+	if i >= histBuckets {
+		return -1
+	}
+	return 1 << (histMinShift + i)
+}
+
+// appendJSON renders {"count":N,"sum_ns":S,"buckets":[{"le_ns":B,"n":K},...]}
+// listing only populated buckets. The overflow bucket reports le_ns -1.
+// Count is loaded first so a concurrent Observe can never yield a snapshot
+// whose bucket total exceeds its count by more than in-flight observations.
+func (h *Histogram) appendJSON(b []byte) []byte {
+	b = append(b, `{"count":`...)
+	b = strconv.AppendInt(b, h.count.Load(), 10)
+	b = append(b, `,"sum_ns":`...)
+	b = strconv.AppendInt(b, h.sum.Load(), 10)
+	b = append(b, `,"buckets":[`...)
+	first := true
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, `{"le_ns":`...)
+		b = strconv.AppendInt(b, BucketBound(i), 10)
+		b = append(b, `,"n":`...)
+		b = strconv.AppendInt(b, n, 10)
+		b = append(b, '}')
+	}
+	return append(b, `]}`...)
+}
+
+// String renders the histogram as its expvar JSON value.
+func (h *Histogram) String() string { return string(h.appendJSON(nil)) }
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// metric is the common behavior the registry needs from an instrument.
+type metric interface {
+	appendJSON(b []byte) []byte
+	reset()
+}
+
+// A Registry is a named set of instruments with deterministic JSON
+// exposition. Registration takes a lock; reads and observations on the
+// returned instruments never do.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]metric{}}
+}
+
+// register installs the metric under name, or returns the existing one.
+// Re-registering a name as a different instrument type is a programmer
+// error and panics.
+func register[M metric](r *Registry, name string, fresh M) M {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.metrics[name]; ok {
+		m, ok := existing.(M)
+		if !ok {
+			panic("telemetry: metric " + name + " re-registered with a different type")
+		}
+		return m
+	}
+	r.metrics[name] = fresh
+	return fresh
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter { return register(r, name, &Counter{}) }
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge { return register(r, name, &Gauge{}) }
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram { return register(r, name, &Histogram{}) }
+
+// snapshot returns the instruments in sorted-name order.
+func (r *Registry) snapshot() (names []string, ms []metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Sorted fold over the map: exposition order must not depend on Go's
+	// randomized map iteration.
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ms = append(ms, r.metrics[name])
+	}
+	return names, ms
+}
+
+// AppendJSON appends the registry's snapshot as one JSON object with keys in
+// sorted order.
+func (r *Registry) AppendJSON(b []byte) []byte {
+	names, ms := r.snapshot()
+	b = append(b, '{')
+	for i, name := range names {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, name)
+		b = append(b, ':')
+		b = ms[i].appendJSON(b)
+	}
+	return append(b, '}')
+}
+
+// String renders the registry snapshot as JSON (the expvar.Var contract).
+func (r *Registry) String() string { return string(r.AppendJSON(nil)) }
+
+// WriteJSON writes the snapshot to w, newline-terminated.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	_, err := w.Write(append(r.AppendJSON(nil), '\n'))
+	return err
+}
+
+// Reset zeroes every registered instrument (tests and serve restarts; the
+// instruments stay registered and all handles stay valid).
+func (r *Registry) Reset() {
+	_, ms := r.snapshot()
+	for _, m := range ms {
+		m.reset()
+	}
+}
+
+// Default is the process-wide registry every instrumented package records
+// into; cmd/generic-serve exposes it on /metrics.
+var Default = NewRegistry()
+
+// The canonical instruments, one handle per hot path. Metric names are part
+// of the observability contract documented in DESIGN.md §10.
+var (
+	// Encoding: one observation per Encoder.Encode call (every path — the
+	// facade, batch pools, and the accelerator sim — funnels through it),
+	// plus batch-level counters from EncodeAll/EncodeAllWorkers.
+	EncodeNS           = Default.Histogram("encode_ns")
+	EncodeBatches      = Default.Counter("encode_batches_total")
+	EncodeBatchSamples = Default.Counter("encode_batch_samples_total")
+
+	// Classification: per-query scoring latency (Model.PredictDims, which
+	// Predict/PredictBatch and the retraining loop all call), training
+	// passes, and online adaptation.
+	PredictNS    = Default.Histogram("predict_ns")
+	FitNS        = Default.Histogram("fit_ns")
+	FitEpochs    = Default.Counter("fit_epochs_total")
+	FitSamples   = Default.Counter("fit_samples_total")
+	AdaptNS      = Default.Histogram("adapt_ns")
+	AdaptUpdates = Default.Counter("adapt_updates_total")
+
+	// Clustering: per-epoch scan latency and total sample assignments.
+	ClusterEpochNS = Default.Histogram("cluster_epoch_ns")
+	ClusterAssigns = Default.Counter("cluster_assignments_total")
+
+	// Fault layer: injection activity, scrub passes, and repair state.
+	FaultInjections  = Default.Counter("fault_injections_total")
+	FaultBits        = Default.Counter("fault_bits_total")
+	Scrubs           = Default.Counter("scrubs_total")
+	ScrubNS          = Default.Histogram("scrub_ns")
+	FaultMaskedLanes = Default.Gauge("fault_masked_lanes")
+	FaultPending     = Default.Gauge("fault_pending")
+
+	// Accelerator sim: mirrors of the cycle-level activity counters.
+	SimCycles     = Default.Counter("sim_cycles_total")
+	SimEncodings  = Default.Counter("sim_encodings_total")
+	SimInferences = Default.Counter("sim_inferences_total")
+	SimUpdates    = Default.Counter("sim_updates_total")
+)

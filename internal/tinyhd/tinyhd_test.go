@@ -51,7 +51,7 @@ func TestQuantizedInferenceAccuracy(t *testing.T) {
 		t.Fatalf("engine geometry wrong: D=%d classes=%d", e.D(), e.Classes())
 	}
 	preds := e.InferAll(ds.TestX)
-	acc := metrics.Accuracy(preds, ds.TestY)
+	acc := metrics.MustAccuracy(preds, ds.TestY)
 	if acc < 0.9 {
 		t.Errorf("tiny-HD accuracy on FACE = %.3f, want ≥ 0.9", acc)
 	}
@@ -63,7 +63,7 @@ func TestQuantizedNotBetterThanFull(t *testing.T) {
 	testH := encoding.EncodeAll(enc, ds.TestX)
 	full := classifier.Evaluate(m, testH, ds.TestY)
 	preds := e.InferAll(ds.TestX)
-	quant := metrics.Accuracy(preds, ds.TestY)
+	quant := metrics.MustAccuracy(preds, ds.TestY)
 	if quant > full+0.02 {
 		t.Errorf("4-bit inference (%.3f) should not beat full precision (%.3f)", quant, full)
 	}
@@ -77,7 +77,7 @@ func TestGenericBeatsTinyHDOnFragileBenchmark(t *testing.T) {
 	e, _ := FromModel(m, enc)
 	testH := encoding.EncodeAll(enc, ds.TestX)
 	full := classifier.Evaluate(m, testH, ds.TestY)
-	quant := metrics.Accuracy(e.InferAll(ds.TestX), ds.TestY)
+	quant := metrics.MustAccuracy(e.InferAll(ds.TestX), ds.TestY)
 	if full-quant < 0.1 {
 		t.Errorf("expected a clear GENERIC advantage on EEG: full %.3f vs tiny-HD %.3f", full, quant)
 	}

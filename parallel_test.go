@@ -34,7 +34,9 @@ func fitWorkers(t *testing.T, workers int) (*generic.Pipeline, [][]float64, []in
 		t.Fatal(err)
 	}
 	p := generic.NewPipeline(enc, 2)
-	p.Fit(X, Y, generic.TrainOptions{Epochs: 5, Seed: 1, Workers: workers})
+	if _, err := p.Fit(X, Y, generic.TrainOptions{Epochs: 5, Seed: 1, Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
 	return p, X, Y
 }
 
