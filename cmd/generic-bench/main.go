@@ -17,6 +17,7 @@ import (
 	"time"
 
 	generic "github.com/edge-hdc/generic"
+	"github.com/edge-hdc/generic/internal/perf"
 	"github.com/edge-hdc/generic/internal/rng"
 )
 
@@ -27,8 +28,21 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "master random seed (0 = derive one from the clock; the choice is printed so any run can be replayed)")
 		d       = flag.Int("d", 0, "hypervector dimensionality override (accuracy experiments)")
 		workers = flag.Int("workers", 0, "worker count for the harness sweeps (0 = all cores, 1 = serial; results are identical)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		traceF  = flag.String("trace", "", "enable span tracing and write Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
+	profiles, err := perf.StartProfiles(*cpuProf, *memProf, *traceF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generic-bench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := profiles.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "generic-bench:", err)
+		}
+	}()
 	if *seed == 0 {
 		// Derive a fresh seed from the clock, mixed through rng.SplitMix64
 		// so close-together launches do not land on correlated xoshiro

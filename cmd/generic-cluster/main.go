@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	generic "github.com/edge-hdc/generic"
+	"github.com/edge-hdc/generic/internal/perf"
 )
 
 func main() {
@@ -25,8 +26,21 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		k       = flag.Int("k", 0, "cluster count (0 = ground truth)")
 		workers = flag.Int("workers", 0, "worker count for encoding and assignment scans (0 = all cores, 1 = serial; results are identical)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		traceF  = flag.String("trace", "", "enable span tracing and write Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
+	profiles, err := perf.StartProfiles(*cpuProf, *memProf, *traceF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generic-cluster:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := profiles.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "generic-cluster:", err)
+		}
+	}()
 
 	cs, err := generic.LoadClusterSet(*name, *seed)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	generic "github.com/edge-hdc/generic"
+	"github.com/edge-hdc/generic/internal/perf"
 	"github.com/edge-hdc/generic/internal/telemetry"
 )
 
@@ -86,6 +87,10 @@ type errorResponse struct {
 
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := telemetry.Now()
+	// Request-scoped span: nests any pipeline spans recorded below it and
+	// labels CPU-profile samples taken while this handler runs.
+	_, sp := perf.Start(r.Context(), "http.predict")
+	defer sp.End()
 	serveRequests.Inc()
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
@@ -126,6 +131,8 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 	start := telemetry.Now()
+	_, sp := perf.Start(r.Context(), "http.adapt")
+	defer sp.End()
 	serveRequests.Inc()
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
@@ -154,9 +161,42 @@ func (s *server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	serveRequests.Inc()
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	if err := telemetry.Default.WriteJSON(w); err != nil {
+	b := telemetry.Default.AppendJSON(nil)
+	b = appendSummaries(b)
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
 		serveErrors.Inc()
 	}
+}
+
+// summaryEndpoints maps each serving endpoint to its latency histogram; the
+// /metrics handler derives quantile summaries from these at read time.
+var summaryEndpoints = []struct {
+	name string
+	hist *telemetry.Histogram
+}{
+	{"predict", servePredictNS},
+	{"adapt", serveAdaptNS},
+}
+
+// appendSummaries splices a "summaries" key into the registry's JSON object
+// (which always ends in '}'): per-endpoint p50/p95/p99 latencies derived from
+// the raw histogram buckets at read time. The raw buckets stay untouched so
+// existing consumers of the flat metric keys keep working; quantiles are
+// bucket upper bounds (conservative, at most 2x the true latency) and -1
+// when the mass sits beyond the top bucket.
+func appendSummaries(b []byte) []byte {
+	b = b[:len(b)-1]
+	b = append(b, `,"summaries":{`...)
+	for i, ep := range summaryEndpoints {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = fmt.Appendf(b, `%q:{"count":%d,"p50_ns":%d,"p95_ns":%d,"p99_ns":%d}`,
+			ep.name, ep.hist.Count(),
+			ep.hist.Quantile(0.50), ep.hist.Quantile(0.95), ep.hist.Quantile(0.99))
+	}
+	return append(b, '}', '}')
 }
 
 // healthResponse mirrors faults.Health plus the serving verdict.

@@ -175,6 +175,30 @@ func TestEndpointsRoundTrip(t *testing.T) {
 		t.Error("serve_requests_total missing from /metrics")
 	}
 
+	// Read-time quantile summaries per endpoint, alongside the raw buckets.
+	var summaries map[string]struct {
+		Count int64 `json:"count"`
+		P50NS int64 `json:"p50_ns"`
+		P95NS int64 `json:"p95_ns"`
+		P99NS int64 `json:"p99_ns"`
+	}
+	if err := json.Unmarshal(metrics["summaries"], &summaries); err != nil {
+		t.Fatalf("metrics[summaries]: %v", err)
+	}
+	for _, ep := range []string{"predict", "adapt"} {
+		s, ok := summaries[ep]
+		if !ok {
+			t.Errorf("summaries missing endpoint %q", ep)
+			continue
+		}
+		if s.Count == 0 || s.P50NS == 0 {
+			t.Errorf("summaries[%s] = %+v, want nonzero count and p50", ep, s)
+		}
+		if s.P50NS > s.P95NS || s.P95NS > s.P99NS {
+			t.Errorf("summaries[%s] quantiles not monotone: %+v", ep, s)
+		}
+	}
+
 	// Healthy before injection.
 	resp, body = get(t, ts.URL+"/healthz")
 	if resp.StatusCode != http.StatusOK {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	generic "github.com/edge-hdc/generic"
+	"github.com/edge-hdc/generic/internal/perf"
 	"github.com/edge-hdc/generic/internal/rng"
 )
 
@@ -47,8 +48,17 @@ func main() {
 		load    = flag.String("load", "", "skip training; load a pipeline from this file and evaluate")
 		csvIn   = flag.String("csv", "", "train on a labelled CSV file instead of a named benchmark")
 		workers = flag.Int("workers", 0, "worker count for batch encode/train/evaluate (0 = all cores, 1 = serial; results are identical)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		traceF  = flag.String("trace", "", "enable span tracing and write Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
+	profiles := must(perf.StartProfiles(*cpuProf, *memProf, *traceF))
+	defer func() {
+		if err := profiles.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "generic-train:", err)
+		}
+	}()
 	*seed = chooseSeed(*seed)
 	fmt.Printf("seed: %d (rerun with -seed %d to reproduce)\n", *seed, *seed)
 

@@ -47,6 +47,7 @@ import (
 	"github.com/edge-hdc/generic/internal/faults"
 	"github.com/edge-hdc/generic/internal/hdc"
 	"github.com/edge-hdc/generic/internal/metrics"
+	"github.com/edge-hdc/generic/internal/perf"
 	"github.com/edge-hdc/generic/internal/power"
 	"github.com/edge-hdc/generic/internal/sim"
 	"github.com/edge-hdc/generic/internal/trace"
@@ -225,8 +226,14 @@ func (p *Pipeline) Fit(X [][]float64, Y []int, opt TrainOptions) (int, error) {
 	if err := p.validateFit(X, Y); err != nil {
 		return 0, err
 	}
+	sp := perf.Begin("pipeline.fit")
+	esp := sp.Child("encode")
 	encoded := encoding.EncodeAllWorkers(p.enc, X, opt.Workers)
+	esp.End()
+	tsp := sp.Child("train")
 	m, res := classifier.TrainEncodedResult(encoded, Y, p.classes, opt)
+	tsp.End()
+	sp.End()
 	p.model = m
 	// A fault controller (if any) holds the replaced model; its guard and
 	// mask state no longer apply.
@@ -286,10 +293,16 @@ func (p *Pipeline) Predict(x []float64, opts ...Option) (int, error) {
 		return 0, err
 	}
 	_ = applyOpts(opts)
+	sp := perf.Begin("pipeline.predict")
 	st := p.states.Get().(*pipeState)
+	esp := sp.Child("encode")
 	st.enc.Encode(x, st.scratch)
+	esp.End()
+	ssp := sp.Child("score")
 	c, _ := p.model.Predict(st.scratch)
+	ssp.End()
 	p.states.Put(st)
+	sp.End()
 	return c, nil
 }
 
@@ -307,6 +320,8 @@ func (p *Pipeline) PredictAll(X [][]float64, opts ...Option) ([]int, error) {
 		}
 	}
 	o := applyOpts(opts)
+	sp := perf.Begin("pipeline.predict_all")
+	defer sp.End()
 	encoded := encoding.EncodeAllWorkers(p.enc, X, o.workers)
 	return p.model.PredictBatch(encoded, o.workers), nil
 }
@@ -352,10 +367,12 @@ func (p *Pipeline) Adapt(x []float64, label int) (pred int, updated bool, err er
 	if label < 0 || label >= p.classes {
 		return 0, false, fmt.Errorf("generic: Adapt: label %d out of range [0,%d)", label, p.classes)
 	}
+	sp := perf.Begin("pipeline.adapt")
 	st := p.states.Get().(*pipeState)
 	st.enc.Encode(x, st.scratch)
 	pred, updated = p.model.Adapt(st.scratch, label)
 	p.states.Put(st)
+	sp.End()
 	if updated {
 		p.invalidateGuard()
 	}
@@ -524,8 +541,10 @@ func (p *Pipeline) Scrub() (FaultScrubReport, error) {
 	if err := p.trained("Scrub"); err != nil {
 		return FaultScrubReport{}, err
 	}
+	sp := perf.Begin("pipeline.scrub")
 	rep := p.faultController().Scrub()
 	p.resetStates()
+	sp.End()
 	return rep, nil
 }
 

@@ -95,6 +95,8 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{name: "detrand", dir: "detrand", path: "example.com/m/internal/state", analyzers: []*Analyzer{DetRand}},
 		{name: "detrand out of scope", dir: "detrand", path: "example.com/m/simstate", analyzers: []*Analyzer{DetRand}},
 		{name: "detrand skips rng", dir: "detrand", path: "example.com/m/internal/rng", analyzers: []*Analyzer{DetRand}},
+		{name: "detrand skips perf", dir: "perfclock", path: "example.com/m/internal/perf", analyzers: []*Analyzer{DetRand}},
+		{name: "detrand perfclock in model-state path", dir: "perfclock", path: "example.com/m/internal/state", analyzers: []*Analyzer{DetRand}},
 		{name: "detrand injector", dir: "injector", path: "example.com/m/internal/faults", analyzers: []*Analyzer{DetRand}},
 		{name: "detrand injector out of scope", dir: "injector", path: "example.com/m/faults", analyzers: []*Analyzer{DetRand}},
 		{name: "encshare", dir: "encshare", path: "example.com/m/internal/encoding", analyzers: []*Analyzer{EncShare}},

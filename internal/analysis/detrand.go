@@ -8,9 +8,11 @@ import (
 
 // DetRand enforces the replayability contract on model-state-affecting code:
 // every package under internal/ except internal/rng (the sanctioned
-// randomness source), internal/analysis (this linter), and
-// internal/telemetry (the observability clock — latency measurement needs
-// the wall clock, and telemetry values never feed back into model state).
+// randomness source), internal/analysis (this linter), internal/telemetry
+// (the observability clock — latency measurement needs the wall clock, and
+// telemetry values never feed back into model state), and internal/perf
+// (span tracing and benchmark statistics sit on the same side of the fence:
+// they time model code but never feed it).
 //
 // Three constructs are banned there:
 //
@@ -36,7 +38,7 @@ var DetRand = &Analyzer{
 }
 
 func runDetRand(pass *Pass) {
-	if !pass.InternalPkg("rng", "analysis", "telemetry") {
+	if !pass.InternalPkg("rng", "analysis", "telemetry", "perf") {
 		return
 	}
 	for _, file := range pass.Files {

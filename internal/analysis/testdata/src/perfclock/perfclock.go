@@ -1,0 +1,29 @@
+// Package perfclock is a golden fixture for the detrand sanctioned-clock
+// skip list: observability code (loaded under example.com/m/internal/perf)
+// may read the wall clock and summarize map-keyed results, while the same
+// file loaded under a model-state path must be flagged on every marked line.
+package perfclock
+
+import "time"
+
+// SpanStamp reads the wall clock the way a tracer's Begin/End pair does.
+func SpanStamp() int64 {
+	return time.Now().UnixNano() // want generic/detrand
+}
+
+// MedianByName folds per-benchmark samples in map order — harmless for a
+// read-time summary, banned in model-state code.
+func MedianByName(samples map[string][]float64) float64 {
+	var total float64
+	var n int
+	for _, s := range samples { // want generic/detrand
+		for _, v := range s {
+			total += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

@@ -13,6 +13,7 @@ import (
 
 	"github.com/edge-hdc/generic/internal/hdc"
 	"github.com/edge-hdc/generic/internal/parallel"
+	"github.com/edge-hdc/generic/internal/perf"
 	"github.com/edge-hdc/generic/internal/rng"
 	"github.com/edge-hdc/generic/internal/telemetry"
 )
@@ -353,10 +354,12 @@ func TrainEncoded(encoded []hdc.Vec, labels []int, nC int, opt Options) (*Model,
 // form Pipeline.Fit builds on.
 func TrainEncodedResult(encoded []hdc.Vec, labels []int, nC int, opt Options) (*Model, TrainResult) {
 	start := telemetry.Now()
+	sp := perf.Begin("fit")
 	opt = opt.withDefaults()
 	if len(encoded) == 0 || len(encoded) != len(labels) {
 		panic("classifier: encoded/labels size mismatch or empty")
 	}
+	initSpan := sp.Child("fit.init")
 	m := NewModel(len(encoded[0]), nC, opt.BW)
 	workers := parallel.Workers(opt.Workers)
 	if workers > 1 && len(encoded) >= 2*workers {
@@ -389,6 +392,7 @@ func TrainEncodedResult(encoded []hdc.Vec, labels []int, nC int, opt Options) (*
 		m.classes[c].Saturate(m.bw)
 		m.refreshNorms(c)
 	})
+	initSpan.End()
 
 	r := rng.New(opt.Seed)
 	order := make([]int, len(encoded))
@@ -397,6 +401,7 @@ func TrainEncodedResult(encoded []hdc.Vec, labels []int, nC int, opt Options) (*
 	}
 	res := TrainResult{}
 	for e := 0; e < opt.Epochs; e++ {
+		epochSpan := sp.Child("fit.epoch")
 		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		updates := 0
 		for _, i := range order {
@@ -408,6 +413,7 @@ func TrainEncodedResult(encoded []hdc.Vec, labels []int, nC int, opt Options) (*
 		}
 		res.EpochsRun = e + 1
 		res.FinalUpdates = updates
+		epochSpan.End()
 		if updates == 0 {
 			break
 		}
@@ -415,6 +421,7 @@ func TrainEncodedResult(encoded []hdc.Vec, labels []int, nC int, opt Options) (*
 	telemetry.FitEpochs.Add(int64(res.EpochsRun))
 	telemetry.FitSamples.Add(int64(len(encoded)))
 	telemetry.FitNS.ObserveSince(start)
+	sp.End()
 	return m, res
 }
 
@@ -429,6 +436,8 @@ func (m *Model) PredictBatch(encoded []hdc.Vec, workers int) []int {
 // PredictDimsBatch is PredictBatch under dimension reduction (see
 // PredictDims).
 func (m *Model) PredictDimsBatch(encoded []hdc.Vec, dims int, updatedNorms bool, workers int) []int {
+	sp := perf.Begin("score.batch")
+	defer sp.End()
 	out := make([]int, len(encoded))
 	parallel.For(workers, len(encoded), func(_, i int) {
 		out[i], _ = m.PredictDims(encoded[i], dims, updatedNorms)

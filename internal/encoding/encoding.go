@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/perf"
 	"github.com/edge-hdc/generic/internal/rng"
 	"github.com/edge-hdc/generic/internal/telemetry"
 )
@@ -138,6 +139,8 @@ func MustNew(kind Kind, cfg Config) Encoder {
 
 // EncodeAll encodes every row of X into a slice of fresh hypervectors.
 func EncodeAll(e Encoder, X [][]float64) []hdc.Vec {
+	sp := perf.Begin("encode.batch")
+	defer sp.End()
 	telemetry.EncodeBatches.Inc()
 	telemetry.EncodeBatchSamples.Add(int64(len(X)))
 	out := make([]hdc.Vec, len(X))

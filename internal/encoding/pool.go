@@ -3,6 +3,7 @@ package encoding
 import (
 	"github.com/edge-hdc/generic/internal/hdc"
 	"github.com/edge-hdc/generic/internal/parallel"
+	"github.com/edge-hdc/generic/internal/perf"
 	"github.com/edge-hdc/generic/internal/telemetry"
 )
 
@@ -57,6 +58,8 @@ func (p *Pool) D() int       { return p.encs[0].D() }
 // order. Results are identical to sequential EncodeAll with any of the
 // pool's encoders.
 func (p *Pool) EncodeAll(X [][]float64) []hdc.Vec {
+	sp := perf.Begin("encode.batch")
+	defer sp.End()
 	telemetry.EncodeBatches.Inc()
 	telemetry.EncodeBatchSamples.Add(int64(len(X)))
 	out := make([]hdc.Vec, len(X))

@@ -7,6 +7,7 @@ import (
 	"github.com/edge-hdc/generic/internal/classifier"
 	"github.com/edge-hdc/generic/internal/encoding"
 	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/perf"
 	"github.com/edge-hdc/generic/internal/rng"
 	"github.com/edge-hdc/generic/internal/telemetry"
 )
@@ -160,6 +161,8 @@ func (r ScrubReport) String() string {
 // mutation) the class memory is trusted as-is; step 3 still runs.
 func (c *Controller) Scrub() ScrubReport {
 	start := telemetry.Now()
+	sp := perf.Begin("faults.scrub")
+	defer sp.End()
 	var rep ScrubReport
 	if c.enc != nil {
 		c.enc.Regenerate()

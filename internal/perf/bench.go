@@ -1,0 +1,219 @@
+// Benchmark statistics: the BENCH_GENERIC.json schema cmd/generic-perf
+// emits, the per-suite summaries (median/p10/p90 over interleaved
+// repetitions), and the regression-compare engine CI runs against the
+// committed baseline.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// BenchSchemaVersion identifies the BENCH_GENERIC.json layout; bump it when
+// a field changes meaning so a compare across incompatible files fails loud.
+const BenchSchemaVersion = 1
+
+// BenchResult is the summary of one suite entry over all repetitions.
+// Per-op numbers are medians across repetitions; P10/P90 bound the spread so
+// the compare engine can distinguish drift from noise.
+type BenchResult struct {
+	Name string `json:"name"`
+	// Reps is the number of interleaved repetitions; Iters the fixed
+	// per-repetition iteration count (ns/op = rep wall time / Iters).
+	Reps  int `json:"reps"`
+	Iters int `json:"iters"`
+
+	MedianNsPerOp float64 `json:"median_ns_per_op"`
+	P10NsPerOp    float64 `json:"p10_ns_per_op"`
+	P90NsPerOp    float64 `json:"p90_ns_per_op"`
+
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// BenchFile is the on-disk perf trajectory record (BENCH_GENERIC.json at the
+// repository root): one run of the generic-perf suite plus enough host
+// metadata to judge whether two files are comparable.
+type BenchFile struct {
+	Schema     int    `json:"schema"`
+	GitSHA     string `json:"git_sha"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Results []BenchResult `json:"results"`
+}
+
+// WriteJSON writes the file as indented JSON (it is committed to the repo, so
+// diffs should be line-stable).
+func (f *BenchFile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadBenchFile parses a BENCH_GENERIC.json and checks the schema version.
+func ReadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("perf: parsing %s: %w", path, err)
+	}
+	if f.Schema != BenchSchemaVersion {
+		return nil, fmt.Errorf("perf: %s has schema %d, this tool speaks %d", path, f.Schema, BenchSchemaVersion)
+	}
+	return &f, nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of samples by linear
+// interpolation between order statistics. The input need not be sorted; it
+// is not modified. An empty input returns NaN.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo] + frac*(s[lo+1]-s[lo])
+}
+
+// Summarize folds per-repetition measurements into one BenchResult. nsPerOp
+// must hold one value per repetition; bytesPerOp/allocsPerOp likewise (their
+// medians are reported, which shrugs off a stray GC or background
+// allocation in one rep).
+func Summarize(name string, iters int, nsPerOp, bytesPerOp, allocsPerOp []float64) BenchResult {
+	return BenchResult{
+		Name: name, Reps: len(nsPerOp), Iters: iters,
+		MedianNsPerOp: Quantile(nsPerOp, 0.5),
+		P10NsPerOp:    Quantile(nsPerOp, 0.10),
+		P90NsPerOp:    Quantile(nsPerOp, 0.90),
+		BytesPerOp:    Quantile(bytesPerOp, 0.5),
+		AllocsPerOp:   Quantile(allocsPerOp, 0.5),
+	}
+}
+
+// CompareStatus classifies one suite entry across two runs.
+type CompareStatus string
+
+const (
+	// StatusOK: medians within threshold, or spreads overlap (noise).
+	StatusOK CompareStatus = "ok"
+	// StatusRegression: the new median exceeds the old by more than the
+	// threshold AND the interquantile ranges are disjoint.
+	StatusRegression CompareStatus = "regression"
+	// StatusImprovement: the mirror of regression — faster beyond both the
+	// threshold and the noise bands.
+	StatusImprovement CompareStatus = "improvement"
+	// StatusAdded / StatusRemoved: the entry exists in only one file.
+	StatusAdded   CompareStatus = "added"
+	StatusRemoved CompareStatus = "removed"
+)
+
+// Verdict is the compare outcome for one suite entry.
+type Verdict struct {
+	Name    string
+	Status  CompareStatus
+	OldNsOp float64
+	NewNsOp float64
+	Ratio   float64 // new/old median; 0 when either side is missing
+}
+
+// Compare judges new against old with a relative threshold (0.30 = flag a
+// >30% median slowdown). The rule combines a median ratio test with an
+// interquantile-overlap test: a slowdown only counts as a regression when
+// the new p10 clears the old p90 — i.e. the distributions separated, not
+// merely wobbled. Entries present on one side only are reported as
+// added/removed, never as regressions.
+func Compare(old, new *BenchFile, threshold float64) []Verdict {
+	oldByName := make(map[string]BenchResult, len(old.Results))
+	for _, r := range old.Results {
+		oldByName[r.Name] = r
+	}
+	newByName := make(map[string]BenchResult, len(new.Results))
+	for _, r := range new.Results {
+		newByName[r.Name] = r
+	}
+	var out []Verdict
+	for _, o := range old.Results {
+		n, ok := newByName[o.Name]
+		if !ok {
+			out = append(out, Verdict{Name: o.Name, Status: StatusRemoved, OldNsOp: o.MedianNsPerOp})
+			continue
+		}
+		out = append(out, judge(o, n, threshold))
+	}
+	for _, n := range new.Results {
+		if _, ok := oldByName[n.Name]; !ok {
+			out = append(out, Verdict{Name: n.Name, Status: StatusAdded, NewNsOp: n.MedianNsPerOp})
+		}
+	}
+	return out
+}
+
+// judge applies the median + interquantile-overlap rule to one matched pair.
+func judge(o, n BenchResult, threshold float64) Verdict {
+	v := Verdict{Name: o.Name, Status: StatusOK,
+		OldNsOp: o.MedianNsPerOp, NewNsOp: n.MedianNsPerOp}
+	if o.MedianNsPerOp > 0 {
+		v.Ratio = n.MedianNsPerOp / o.MedianNsPerOp
+	}
+	switch {
+	case v.Ratio > 1+threshold && n.P10NsPerOp > o.P90NsPerOp:
+		v.Status = StatusRegression
+	case v.Ratio > 0 && v.Ratio < 1/(1+threshold) && n.P90NsPerOp < o.P10NsPerOp:
+		v.Status = StatusImprovement
+	}
+	return v
+}
+
+// Regressed reports whether any verdict is a regression.
+func Regressed(vs []Verdict) bool {
+	for _, v := range vs {
+		if v.Status == StatusRegression {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteVerdicts renders a compare report, one line per entry, aligned for
+// terminal reading.
+func WriteVerdicts(w io.Writer, vs []Verdict) error {
+	for _, v := range vs {
+		var err error
+		switch v.Status {
+		case StatusAdded:
+			_, err = fmt.Fprintf(w, "%-32s %-12s %38s %12.0f ns/op\n", v.Name, v.Status, "", v.NewNsOp)
+		case StatusRemoved:
+			_, err = fmt.Fprintf(w, "%-32s %-12s %12.0f ns/op\n", v.Name, v.Status, v.OldNsOp)
+		default:
+			_, err = fmt.Fprintf(w, "%-32s %-12s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+				v.Name, v.Status, v.OldNsOp, v.NewNsOp, 100*(v.Ratio-1))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package perf
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+func TestQuantile(t *testing.T) {
+	s := []float64{4, 1, 3, 2, 5}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(s, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input is not mutated (Quantile sorts a copy).
+	if s[0] != 4 {
+		t.Errorf("Quantile mutated its input: %v", s)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Errorf("Quantile(nil) = %v, want NaN", Quantile(nil, 0.5))
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("Quantile of singleton = %v, want 7", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ns := []float64{100, 110, 90, 105, 95}
+	r := Summarize("x", 1000, ns, []float64{32, 32, 32, 32, 32}, []float64{2, 2, 2, 2, 2})
+	if r.Name != "x" || r.Reps != 5 || r.Iters != 1000 {
+		t.Fatalf("metadata wrong: %+v", r)
+	}
+	if r.MedianNsPerOp != 100 {
+		t.Errorf("median = %v, want 100", r.MedianNsPerOp)
+	}
+	if r.P10NsPerOp >= r.MedianNsPerOp || r.P90NsPerOp <= r.MedianNsPerOp {
+		t.Errorf("quantile ordering violated: p10=%v med=%v p90=%v",
+			r.P10NsPerOp, r.MedianNsPerOp, r.P90NsPerOp)
+	}
+	if r.BytesPerOp != 32 || r.AllocsPerOp != 2 {
+		t.Errorf("bytes/allocs = %v/%v, want 32/2", r.BytesPerOp, r.AllocsPerOp)
+	}
+}
+
+// synthetic draws reps samples around mean with +-spread uniform noise from a
+// seeded deterministic stream.
+func synthetic(r *rng.Rand, reps int, mean, spread float64) []float64 {
+	out := make([]float64, reps)
+	for i := range out {
+		out[i] = mean + (2*r.Float64()-1)*spread
+	}
+	return out
+}
+
+func fileWith(results ...BenchResult) *BenchFile {
+	return &BenchFile{Schema: BenchSchemaVersion, Results: results}
+}
+
+// TestCompareFlagsInjectedSlowdown: a synthetic 2x regression must be
+// flagged even under realistic rep-to-rep noise.
+func TestCompareFlagsInjectedSlowdown(t *testing.T) {
+	r := rng.New(1)
+	old := Summarize("encode/single", 1000, synthetic(r, 9, 1000, 50), nil, nil)
+	slow := Summarize("encode/single", 1000, synthetic(r, 9, 2000, 100), nil, nil)
+	vs := Compare(fileWith(old), fileWith(slow), 0.30)
+	if len(vs) != 1 {
+		t.Fatalf("got %d verdicts, want 1", len(vs))
+	}
+	if vs[0].Status != StatusRegression {
+		t.Fatalf("2x slowdown judged %q (ratio %.2f), want regression", vs[0].Status, vs[0].Ratio)
+	}
+	if !Regressed(vs) {
+		t.Error("Regressed = false with a regression present")
+	}
+}
+
+// TestCompareSameDistributionPasses: two runs drawn from one distribution
+// must not be flagged — the control that keeps the CI gate advisory-quiet.
+func TestCompareSameDistributionPasses(t *testing.T) {
+	r := rng.New(2)
+	a := Summarize("predict", 500, synthetic(r, 9, 5000, 400), nil, nil)
+	b := Summarize("predict", 500, synthetic(r, 9, 5000, 400), nil, nil)
+	vs := Compare(fileWith(a), fileWith(b), 0.30)
+	if vs[0].Status != StatusOK {
+		t.Fatalf("same-distribution run judged %q (ratio %.2f), want ok", vs[0].Status, vs[0].Ratio)
+	}
+	if Regressed(vs) {
+		t.Error("Regressed = true on same-distribution noise")
+	}
+}
+
+// TestCompareOverlapSuppresses: a median past the threshold whose spread
+// still overlaps the baseline is noise, not a regression.
+func TestCompareOverlapSuppresses(t *testing.T) {
+	old := BenchResult{Name: "x", MedianNsPerOp: 100, P10NsPerOp: 60, P90NsPerOp: 160}
+	noisy := BenchResult{Name: "x", MedianNsPerOp: 140, P10NsPerOp: 90, P90NsPerOp: 200}
+	vs := Compare(fileWith(old), fileWith(noisy), 0.30)
+	if vs[0].Status != StatusOK {
+		t.Fatalf("overlapping spread judged %q, want ok (p10 %v <= old p90 %v)",
+			vs[0].Status, noisy.P10NsPerOp, old.P90NsPerOp)
+	}
+}
+
+func TestCompareImprovementAndChurn(t *testing.T) {
+	r := rng.New(3)
+	old := fileWith(
+		Summarize("a", 100, synthetic(r, 9, 2000, 50), nil, nil),
+		Summarize("gone", 100, synthetic(r, 9, 100, 5), nil, nil),
+	)
+	new := fileWith(
+		Summarize("a", 100, synthetic(r, 9, 900, 30), nil, nil),
+		Summarize("fresh", 100, synthetic(r, 9, 100, 5), nil, nil),
+	)
+	vs := Compare(old, new, 0.30)
+	got := map[string]CompareStatus{}
+	for _, v := range vs {
+		got[v.Name] = v.Status
+	}
+	if got["a"] != StatusImprovement {
+		t.Errorf("a judged %q, want improvement", got["a"])
+	}
+	if got["gone"] != StatusRemoved || got["fresh"] != StatusAdded {
+		t.Errorf("churn verdicts: gone=%q fresh=%q", got["gone"], got["fresh"])
+	}
+	if Regressed(vs) {
+		t.Error("improvement/churn counted as regression")
+	}
+	var buf bytes.Buffer
+	if err := WriteVerdicts(&buf, vs); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("WriteVerdicts produced no output")
+	}
+}
+
+func TestBenchFileRoundTripAndSchemaCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	f := &BenchFile{
+		Schema: BenchSchemaVersion, GitSHA: "deadbeef", GoVersion: "go1.24.0",
+		GOOS: "linux", GOARCH: "amd64", NumCPU: 8, GOMAXPROCS: 8,
+		Results: []BenchResult{{Name: "x", Reps: 5, Iters: 100,
+			MedianNsPerOp: 1, P10NsPerOp: 0.9, P90NsPerOp: 1.1}},
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GitSHA != "deadbeef" || len(got.Results) != 1 || got.Results[0].Name != "x" {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+
+	// A future-schema file is rejected loudly, not misread.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema": 999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchFile(bad); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}

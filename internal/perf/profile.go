@@ -1,0 +1,84 @@
+// Profiling glue for the CLIs: generic-train, generic-cluster, generic-bench
+// and generic-perf all expose -cpuprofile / -memprofile / -trace flags and
+// delegate the lifecycle here.
+package perf
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles manages the profile outputs of one CLI run. Start it after flag
+// parsing, defer Stop.
+type Profiles struct {
+	cpuFile   *os.File
+	memPath   string
+	tracePath string
+}
+
+// StartProfiles opens the requested outputs: cpuPath starts a CPU profile,
+// memPath schedules a heap profile at Stop, and tracePath enables the
+// default span tracer and writes its Chrome trace-event JSON at Stop. Empty
+// paths disable the corresponding output. On error, anything already
+// started is stopped.
+func StartProfiles(cpuPath, memPath, tracePath string) (*Profiles, error) {
+	p := &Profiles{memPath: memPath, tracePath: tracePath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("perf: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("perf: -cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if tracePath != "" {
+		Reset()
+		Enable()
+	}
+	return p, nil
+}
+
+// Stop finalizes every output started by StartProfiles. It returns the
+// first error encountered but always attempts all outputs.
+func (p *Profiles) Stop() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(p.cpuFile.Close())
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err == nil {
+			runtime.GC() // materialize final live-heap statistics
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		} else {
+			keep(fmt.Errorf("perf: -memprofile: %w", err))
+		}
+		p.memPath = ""
+	}
+	if p.tracePath != "" {
+		Disable()
+		f, err := os.Create(p.tracePath)
+		if err == nil {
+			events := append(Metadata(), Events(Snapshot())...)
+			keep(WriteTrace(f, events))
+			keep(f.Close())
+		} else {
+			keep(fmt.Errorf("perf: -trace: %w", err))
+		}
+		p.tracePath = ""
+	}
+	return first
+}

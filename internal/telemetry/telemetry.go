@@ -24,6 +24,7 @@ package telemetry
 
 import (
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 	"strconv"
@@ -125,6 +126,43 @@ func BucketBound(i int) int64 {
 		return -1
 	}
 	return 1 << (histMinShift + i)
+}
+
+// Quantile returns a conservative estimate of the q-quantile of observed
+// durations: the upper bound in nanoseconds of the bucket that contains the
+// rank-⌈q·count⌉ observation. With power-of-two buckets the estimate is at
+// most 2× the true value — acceptable for the latency summaries /metrics
+// derives at read time. Returns 0 when the histogram is empty and -1 when
+// the quantile lands in the overflow bucket (beyond ~4.3 s).
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	last := 0 // highest populated bucket seen, for the racy-snapshot fallback
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		last = i
+		if cum += n; cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	// count was read before the buckets, so a concurrent Observe can leave
+	// the scan short of rank; the highest populated bucket bounds the tail.
+	return BucketBound(last)
 }
 
 // appendJSON renders {"count":N,"sum_ns":S,"buckets":[{"le_ns":B,"n":K},...]}

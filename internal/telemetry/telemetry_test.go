@@ -171,3 +171,66 @@ func TestObserveSince(t *testing.T) {
 		t.Errorf("negative elapsed %d", h.SumNanos())
 	}
 }
+
+// TestQuantileEdgeCases covers the corners the /metrics summaries rely on:
+// empty histograms, zero-duration observations, observations beyond the top
+// bucket, and quantiles that land exactly on bucket boundaries.
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %d, want 0", got)
+	}
+
+	// Zero-duration observations land in the first bucket; every quantile
+	// reports its upper bound.
+	h.reset()
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 512 {
+			t.Errorf("all-zero observations: Quantile(%v) = %d, want 512", q, got)
+		}
+	}
+
+	// Observations above the top bucket bound report the overflow marker.
+	h.reset()
+	h.Observe(int64(1) << 62)
+	if got := h.Quantile(0.5); got != -1 {
+		t.Errorf("overflow observation: Quantile = %d, want -1", got)
+	}
+
+	// Boundary behavior: 512 one-nanosecond observations and 512 at ~1 ms.
+	// The median rank (256) sits entirely in the first bucket; anything past
+	// 0.5 crosses into the high bucket.
+	h.reset()
+	for i := 0; i < 512; i++ {
+		h.Observe(1)
+		h.Observe(1 << 20)
+	}
+	if got := h.Quantile(0.5); got != 512 {
+		t.Errorf("bimodal median = %d, want 512 (first bucket bound)", got)
+	}
+	wantHigh := BucketBound(bucketIndex(1 << 20))
+	if got := h.Quantile(0.51); got != wantHigh {
+		t.Errorf("Quantile(0.51) = %d, want %d", got, wantHigh)
+	}
+	if got := h.Quantile(1); got != wantHigh {
+		t.Errorf("Quantile(1) = %d, want %d", got, wantHigh)
+	}
+	// q outside [0,1] clamps instead of panicking.
+	if got := h.Quantile(-3); got != 512 {
+		t.Errorf("Quantile(-3) = %d, want 512", got)
+	}
+	if got := h.Quantile(7); got != wantHigh {
+		t.Errorf("Quantile(7) = %d, want %d", got, wantHigh)
+	}
+
+	// A single observation on an exact bucket bound reports that bound, not
+	// the next bucket up.
+	h.reset()
+	h.Observe(1024)
+	if got := h.Quantile(1); got != 1024 {
+		t.Errorf("exact-bound observation: Quantile(1) = %d, want 1024", got)
+	}
+}
