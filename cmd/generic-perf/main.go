@@ -189,6 +189,10 @@ func buildSuite() ([]*bench, error) {
 			classifier.TrainEncodedResult(encodedVecs, fitY, ds.Classes,
 				generic.TrainOptions{Epochs: 1, Seed: 1})
 		}},
+		{name: "fit/lehdc200", op: func() {
+			classifier.TrainEncodedResult(encodedVecs, fitY, ds.Classes,
+				generic.TrainOptions{Epochs: 1, Seed: 1, Trainer: "lehdc"})
+		}},
 		{name: "sim/infer", op: func() {
 			acc.Infer(x)
 		}},

@@ -41,6 +41,10 @@ func main() {
 		kind    = flag.String("encoding", "generic", "encoding (rp,level-id,ngram,permute,generic)")
 		d       = flag.Int("d", 4096, "hypervector dimensionality")
 		epochs  = flag.Int("epochs", 20, "retraining epochs")
+		trainer = flag.String("trainer", "", "training strategy ("+strings.Join(generic.Trainers(), ",")+"; empty = perceptron)")
+		lr      = flag.Float64("lr", 0, "lehdc: initial learning rate (0 = default 0.5)")
+		lrDecay = flag.Float64("lr-decay", 0, "lehdc: per-epoch learning-rate decay (0 = default 0.95)")
+		batch   = flag.Int("batch", 0, "lehdc: mini-batch size (0 = default 16)")
 		seed    = flag.Uint64("seed", 0, "random seed (0 = derive one from the clock; the choice is printed so any run can be replayed)")
 		bw      = flag.Int("bw", 0, "quantize the trained model to this bit-width (0 = keep 16)")
 		dims    = flag.Int("dims", 0, "also evaluate with dimension reduction to this many dims")
@@ -73,8 +77,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "generic-train:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("loaded pipeline from %s (D=%d, %d classes, %d-bit)\n",
-			*load, p.Model().D(), p.Model().Classes(), p.Model().BW())
+		trainedBy := p.Trainer()
+		if trainedBy == "" {
+			trainedBy = "unknown"
+		}
+		fmt.Printf("loaded pipeline from %s (D=%d, %d classes, %d-bit, trainer %s)\n",
+			*load, p.Model().D(), p.Model().Classes(), p.Model().BW(), trainedBy)
 		fmt.Printf("test accuracy: %.2f%%\n", 100*must(p.Accuracy(ds.TestX, ds.TestY, generic.WithWorkers(*workers))))
 		return
 	}
@@ -103,15 +111,18 @@ func main() {
 
 	fmt.Printf("dataset %s: %d train / %d test, %d features, %d classes (%s)\n",
 		ds.Name, ds.TrainLen(), ds.TestLen(), ds.Features, ds.Classes, ds.Kind)
-	p := generic.NewPipeline(enc, ds.Classes)
+	p := generic.NewPipeline(enc, ds.Classes, generic.WithTrainer(*trainer))
 	start := time.Now()
-	ran, err := p.Fit(ds.TrainX, ds.TrainY, generic.TrainOptions{Epochs: *epochs, Seed: *seed, Workers: *workers})
+	res, err := p.FitResult(ds.TrainX, ds.TrainY, generic.TrainOptions{
+		Epochs: *epochs, Seed: *seed, Workers: *workers,
+		LR: *lr, LRDecay: *lrDecay, BatchSize: *batch,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "generic-train:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("trained %s/%s D=%d in %.1fs (%d retraining epochs)\n",
-		*kind, ds.Name, *d, time.Since(start).Seconds(), ran)
+	fmt.Printf("trained %s/%s D=%d in %.1fs (%s, %d epochs, %d final updates, final loss %.4f)\n",
+		*kind, ds.Name, *d, time.Since(start).Seconds(), res.Trainer, res.EpochsRun, res.FinalUpdates, res.FinalLoss)
 	fmt.Printf("train accuracy: %.2f%%\n", 100*must(p.Accuracy(ds.TrainX, ds.TrainY, generic.WithWorkers(*workers))))
 	fmt.Printf("test accuracy:  %.2f%%\n", 100*must(p.Accuracy(ds.TestX, ds.TestY, generic.WithWorkers(*workers))))
 

@@ -22,6 +22,7 @@ func QuickExperimentConfig() ExperimentConfig   { return experiments.QuickConfig
 var experimentOrder = []string{
 	"table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "fig10",
 	"ablation-n", "ablation-id", "ablation-bins", "gating", "epochs", "resilience",
+	"trainers",
 }
 
 // Experiments returns the ids accepted by RunExperiment, in paper order.
@@ -65,6 +66,8 @@ func RunExperiment(id string, cfg ExperimentConfig) (fmt.Stringer, error) {
 		return experiments.EpochSaturation(cfg)
 	case "resilience":
 		return experiments.Resilience(cfg)
+	case "trainers":
+		return experiments.Trainers(cfg)
 	}
 	return nil, fmt.Errorf("generic: unknown experiment %q (known: %v)", id, experimentOrder)
 }

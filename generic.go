@@ -118,6 +118,17 @@ type TrainOptions = classifier.Options
 // sub-norms (on-demand dimension reduction, §4.3.3).
 const SubNormGranularity = classifier.SubNormGranularity
 
+// TrainResult reports what a training run did: which strategy ran, how many
+// epochs, and the per-epoch update/loss trajectory.
+type TrainResult = classifier.TrainResult
+
+// EpochStat is one epoch's entry in a TrainResult.
+type EpochStat = classifier.EpochStat
+
+// Trainers returns the registered training-strategy names ("lehdc",
+// "perceptron"), sorted. The empty name selects the default (perceptron).
+func Trainers() []string { return classifier.TrainerNames() }
+
 // Train builds a model from pre-encoded hypervectors.
 func Train(encoded []Hypervector, labels []int, classes int, opt TrainOptions) *Model {
 	m, _ := classifier.TrainEncoded(encoded, labels, classes, opt)
@@ -172,6 +183,11 @@ type Pipeline struct {
 	// carried an integrity footer.
 	faultCtl    *faults.Controller
 	hasChecksum bool
+	// trainer is the pipeline's default training strategy, set by
+	// WithTrainer (or recorded from a loaded model file). Fit uses it when
+	// the call's TrainOptions leave Trainer empty; after a successful fit it
+	// holds the strategy that actually trained the current model.
+	trainer string
 }
 
 // pipeState is the per-goroutine working set of a Pipeline: an encoder
@@ -181,9 +197,22 @@ type pipeState struct {
 	scratch Hypervector
 }
 
+// PipelineOption configures a Pipeline at construction.
+type PipelineOption func(*Pipeline)
+
+// WithTrainer sets the pipeline's default training strategy (see Trainers
+// for the registered names). A per-call TrainOptions.Trainer still wins; an
+// unknown name surfaces as an error from Fit, not here.
+func WithTrainer(name string) PipelineOption {
+	return func(p *Pipeline) { p.trainer = name }
+}
+
 // NewPipeline creates an untrained pipeline for the given class count.
-func NewPipeline(enc Encoder, classes int) *Pipeline {
+func NewPipeline(enc Encoder, classes int, opts ...PipelineOption) *Pipeline {
 	p := &Pipeline{enc: enc, classes: classes}
+	for _, f := range opts {
+		f(p)
+	}
 	p.resetStates()
 	return p
 }
@@ -221,25 +250,48 @@ func (p *Pipeline) Model() *Model    { return p.model }
 // every sample must carry the encoder's feature count, and labels must lie
 // in [0, classes) — so malformed input is an error here rather than a panic
 // deep inside encoding or training. It returns the number of retraining
-// epochs actually run (early convergence stops before opt.Epochs).
+// epochs actually run (early convergence stops before opt.Epochs). For the
+// full per-epoch trajectory use FitResult.
 func (p *Pipeline) Fit(X [][]float64, Y []int, opt TrainOptions) (int, error) {
+	res, err := p.FitResult(X, Y, opt)
+	return res.EpochsRun, err
+}
+
+// FitResult is Fit returning the full training record: the strategy that
+// ran, epochs completed, and per-epoch update counts, loss, and learning
+// rate. When opt.Trainer is empty, the pipeline's WithTrainer default (or
+// "perceptron") selects the strategy.
+func (p *Pipeline) FitResult(X [][]float64, Y []int, opt TrainOptions) (TrainResult, error) {
 	if err := p.validateFit(X, Y); err != nil {
-		return 0, err
+		return TrainResult{}, err
+	}
+	if opt.Trainer == "" {
+		opt.Trainer = p.trainer
 	}
 	sp := perf.Begin("pipeline.fit")
 	esp := sp.Child("encode")
 	encoded := encoding.EncodeAllWorkers(p.enc, X, opt.Workers)
 	esp.End()
 	tsp := sp.Child("train")
-	m, res := classifier.TrainEncodedResult(encoded, Y, p.classes, opt)
+	m, res, err := classifier.Train(encoded, Y, p.classes, opt)
 	tsp.End()
 	sp.End()
+	if err != nil {
+		return TrainResult{}, err
+	}
 	p.model = m
+	p.trainer = res.Trainer
 	// A fault controller (if any) holds the replaced model; its guard and
 	// mask state no longer apply.
 	p.faultCtl = nil
-	return res.EpochsRun, nil
+	return res, nil
 }
+
+// Trainer returns the pipeline's training strategy: the name set via
+// WithTrainer (or recorded in a loaded model file), updated after each fit
+// to the strategy that actually trained the current model. Empty means the
+// default (perceptron) and nothing has been trained or loaded yet.
+func (p *Pipeline) Trainer() string { return p.trainer }
 
 // validateFit checks the training set's shape against the pipeline before
 // any encoding work starts.

@@ -221,7 +221,7 @@ func TestRunExperimentDispatch(t *testing.T) {
 	if !strings.Contains(res.String(), "class mem") {
 		t.Error("fig7 rendering incomplete")
 	}
-	if len(generic.Experiments()) != 15 {
-		t.Errorf("Experiments() = %d ids, want 15", len(generic.Experiments()))
+	if len(generic.Experiments()) != 16 {
+		t.Errorf("Experiments() = %d ids, want 16", len(generic.Experiments()))
 	}
 }

@@ -20,9 +20,8 @@
 //     begin with a dimensionality check that panics with the
 //     "hdc:" prefix.
 //   - depapi:     repository code does not call the deprecated batch entry
-//     points (Pipeline.PredictBatch, Pipeline.AccuracyWorkers,
-//     classifier.Evaluate/EvaluateBatch) — new code uses the
-//     variadic-option forms.
+//     points (Pipeline.PredictBatch, Pipeline.AccuracyWorkers) — new code
+//     uses the variadic-option forms.
 //
 // Findings can be suppressed with a staticcheck-style directive on the line
 // of, or the line immediately above, the offending node:

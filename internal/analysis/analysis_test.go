@@ -103,7 +103,6 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{name: "mergeorder", dir: "mergeorder", path: "example.com/m/internal/cluster", analyzers: []*Analyzer{MergeOrder}},
 		{name: "dimguard", dir: "dimguard", path: "example.com/m/internal/hdc", analyzers: []*Analyzer{DimGuard}},
 		{name: "depapi facade", dir: "depapi", path: "example.com/m/serveapp", analyzers: []*Analyzer{DepAPI}},
-		{name: "depapi classifier", dir: "depapievaluate", path: "example.com/m/internal/experiments", analyzers: []*Analyzer{DepAPI}},
 		{name: "dimguard out of scope", dir: "dimguard", path: "example.com/m/internal/tinyhd", analyzers: []*Analyzer{DimGuard}},
 		{name: "directives", dir: "directive", path: "example.com/m/internal/directive", analyzers: nil,
 			extraWant: []string{"directive.go:7 directive", "directive.go:10 directive"}},

@@ -14,7 +14,7 @@ import (
 // package boundaries.
 var DepAPI = &Analyzer{
 	Name: "depapi",
-	Doc:  "ban in-repo use of deprecated batch entry points (PredictBatch, AccuracyWorkers, classifier.Evaluate/EvaluateBatch)",
+	Doc:  "ban in-repo use of deprecated batch entry points (PredictBatch, AccuracyWorkers)",
 	Run:  runDepAPI,
 }
 
@@ -27,11 +27,11 @@ type deprecatedSym struct {
 	use     string // canonical replacement, shown in the finding
 }
 
+// classifier.Evaluate/EvaluateBatch used to be listed here; the wrappers
+// were deleted outright once no in-tree callers remained.
 var deprecatedSyms = []deprecatedSym{
 	{"generic", "Pipeline", "PredictBatch", "PredictAll(X, WithWorkers(n))"},
 	{"generic", "Pipeline", "AccuracyWorkers", "Accuracy(X, Y, WithWorkers(n))"},
-	{"classifier", "", "Evaluate", "classifier.Accuracy(m, encoded, labels, 1)"},
-	{"classifier", "", "EvaluateBatch", "classifier.Accuracy(m, encoded, labels, workers)"},
 }
 
 func runDepAPI(pass *Pass) {

@@ -40,6 +40,17 @@ type Options struct {
 	// regardless — its per-sample update order is part of the algorithm —
 	// so results are bit-identical for every worker count.
 	Workers int
+	// Trainer selects the training strategy by registry name (see
+	// TrainerNames): "" or "perceptron" is the paper's one-shot+perceptron
+	// path, "lehdc" the learned-classifier strategy.
+	Trainer string
+	// LR is the LeHDC initial learning rate (zero means 0.5); LRDecay the
+	// per-epoch multiplicative decay (zero means 0.95); BatchSize the
+	// mini-batch size (zero means 16). The perceptron strategy ignores all
+	// three.
+	LR        float64
+	LRDecay   float64
+	BatchSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -48,6 +59,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BW == 0 {
 		o.BW = 16
+	}
+	if o.LR == 0 {
+		o.LR = 0.5
+	}
+	if o.LRDecay == 0 {
+		o.LRDecay = 0.95
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 16
 	}
 	return o
 }
@@ -326,102 +346,28 @@ func (m *Model) Clone() *Model {
 	return c
 }
 
-// TrainResult reports how a training run went.
-type TrainResult struct {
-	// EpochsRun is the number of retraining epochs executed — at most
-	// opt.Epochs, fewer when the model converges early.
-	EpochsRun int
-	// FinalUpdates is the number of misprediction updates in the last epoch
-	// run (zero means the model converged).
-	FinalUpdates int
-}
-
-// TrainEncoded builds a model from pre-encoded hypervectors: one-shot class
-// bundling followed by opt.Epochs retraining passes. Labels must lie in
-// [0, nC). The number of misprediction updates in the final epoch is
-// returned alongside the model (zero means the model converged).
+// TrainEncoded builds a model from pre-encoded hypervectors with the
+// strategy selected by opt.Trainer (the paper's one-shot bundling +
+// perceptron retraining by default). Labels must lie in [0, nC). The number
+// of misclassified samples in the final epoch is returned alongside the
+// model (zero means the model converged).
 //
-// The initialization bundling runs across opt.Workers workers (per-worker
-// partial class sums merged in worker order — integer accumulation is
-// order-independent, so the model is bit-identical to a serial build);
-// retraining is sequential by construction.
+// Like TrainEncodedResult, this is the Must form of Train: malformed input
+// or an unknown trainer name panics with the error Train would return.
 func TrainEncoded(encoded []hdc.Vec, labels []int, nC int, opt Options) (*Model, int) {
 	m, res := TrainEncodedResult(encoded, labels, nC, opt)
 	return m, res.FinalUpdates
 }
 
-// TrainEncodedResult is TrainEncoded reporting the full TrainResult — the
-// form Pipeline.Fit builds on.
+// TrainEncodedResult is the Must wrapper over Train, reporting the full
+// TrainResult: validation failures panic instead of returning an error, for
+// call sites (experiments, benchmarks, tests) whose inputs are correct by
+// construction. Pipeline.Fit and other error-propagating callers use Train.
 func TrainEncodedResult(encoded []hdc.Vec, labels []int, nC int, opt Options) (*Model, TrainResult) {
-	start := telemetry.Now()
-	sp := perf.Begin("fit")
-	opt = opt.withDefaults()
-	if len(encoded) == 0 || len(encoded) != len(labels) {
-		panic("classifier: encoded/labels size mismatch or empty")
+	m, res, err := Train(encoded, labels, nC, opt)
+	if err != nil {
+		panic(err)
 	}
-	initSpan := sp.Child("fit.init")
-	m := NewModel(len(encoded[0]), nC, opt.BW)
-	workers := parallel.Workers(opt.Workers)
-	if workers > 1 && len(encoded) >= 2*workers {
-		d := m.d
-		partials := make([][]hdc.Vec, workers)
-		parallel.ForChunks(workers, len(encoded), func(w, lo, hi int) {
-			sums := make([]hdc.Vec, nC)
-			for i := lo; i < hi; i++ {
-				c := labels[i]
-				if sums[c] == nil {
-					sums[c] = hdc.NewVec(d)
-				}
-				sums[c].AddInto(encoded[i])
-			}
-			partials[w] = sums
-		})
-		for _, sums := range partials {
-			for c, s := range sums {
-				if s != nil {
-					m.classes[c].AddInto(s)
-				}
-			}
-		}
-	} else {
-		for i, h := range encoded {
-			m.classes[labels[i]].AddInto(h)
-		}
-	}
-	parallel.For(workers, nC, func(_, c int) {
-		m.classes[c].Saturate(m.bw)
-		m.refreshNorms(c)
-	})
-	initSpan.End()
-
-	r := rng.New(opt.Seed)
-	order := make([]int, len(encoded))
-	for i := range order {
-		order[i] = i
-	}
-	res := TrainResult{}
-	for e := 0; e < opt.Epochs; e++ {
-		epochSpan := sp.Child("fit.epoch")
-		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		updates := 0
-		for _, i := range order {
-			pred, _ := m.Predict(encoded[i])
-			if pred != labels[i] {
-				m.Update(encoded[i], labels[i], pred)
-				updates++
-			}
-		}
-		res.EpochsRun = e + 1
-		res.FinalUpdates = updates
-		epochSpan.End()
-		if updates == 0 {
-			break
-		}
-	}
-	telemetry.FitEpochs.Add(int64(res.EpochsRun))
-	telemetry.FitSamples.Add(int64(len(encoded)))
-	telemetry.FitNS.ObserveSince(start)
-	sp.End()
 	return m, res
 }
 
@@ -455,26 +401,7 @@ func Accuracy(m *Model, encoded []hdc.Vec, labels []int, workers int) float64 {
 	return EvaluateDimsBatch(m, encoded, labels, m.d, true, workers)
 }
 
-// Evaluate returns the fraction of encoded queries whose prediction matches
-// labels.
-//
-// Deprecated: use Accuracy with workers 1. Kept as a thin wrapper for
-// compatibility; generic-lint's depapi check flags in-tree callers.
-func Evaluate(m *Model, encoded []hdc.Vec, labels []int) float64 {
-	return Accuracy(m, encoded, labels, 1)
-}
-
-// EvaluateBatch is Evaluate with the scoring fanned across workers workers
-// (<= 0 means GOMAXPROCS).
-//
-// Deprecated: use Accuracy, which it delegates to unchanged. Kept as a thin
-// wrapper for compatibility; generic-lint's depapi check flags in-tree
-// callers.
-func EvaluateBatch(m *Model, encoded []hdc.Vec, labels []int, workers int) float64 {
-	return Accuracy(m, encoded, labels, workers)
-}
-
-// EvaluateDims is Evaluate under dimension reduction (see PredictDims).
+// EvaluateDims is Accuracy under dimension reduction (see PredictDims).
 func EvaluateDims(m *Model, encoded []hdc.Vec, labels []int, dims int, updatedNorms bool) float64 {
 	return EvaluateDimsBatch(m, encoded, labels, dims, updatedNorms, 1)
 }

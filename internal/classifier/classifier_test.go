@@ -62,7 +62,7 @@ func TestTrainAndPredictSeparable(t *testing.T) {
 			t.Errorf("prototype %d predicted as %d", c, pred)
 		}
 	}
-	if acc := Evaluate(m, train, labels); acc < 0.99 {
+	if acc := Accuracy(m, train, labels, 1); acc < 0.99 {
 		t.Errorf("train accuracy = %v, want ≈1 on separable data", acc)
 	}
 }
@@ -73,8 +73,8 @@ func TestRetrainingImproves(t *testing.T) {
 	train, labels, _ := syntheticEncoded(r, 512, 6, 30, 0.42)
 	m0, _ := TrainEncoded(train, labels, 6, Options{Epochs: 1, Seed: 1})
 	m20, _ := TrainEncoded(train, labels, 6, Options{Epochs: 25, Seed: 1})
-	a0 := Evaluate(m0, train, labels)
-	a20 := Evaluate(m20, train, labels)
+	a0 := Accuracy(m0, train, labels, 1)
+	a20 := Accuracy(m20, train, labels, 1)
 	if a20 < a0 {
 		t.Errorf("retraining reduced accuracy: %v -> %v", a0, a20)
 	}
@@ -176,7 +176,7 @@ func TestQuantizePreservesSeparableAccuracy(t *testing.T) {
 		if q.BW() != bw {
 			t.Fatalf("BW() = %d after Quantize(%d)", q.BW(), bw)
 		}
-		if acc := Evaluate(q, train, labels); acc < 0.95 {
+		if acc := Accuracy(q, train, labels, 1); acc < 0.95 {
 			t.Errorf("bw=%d: accuracy %v too low on well-separated data", bw, acc)
 		}
 	}
@@ -244,7 +244,7 @@ func TestInjectBitErrorsRateAndEffect(t *testing.T) {
 	}
 	// Graceful degradation: moderate BER should not destroy a separable
 	// model (HDC's error resilience).
-	if acc := Evaluate(faulty, train, labels); acc < 0.8 {
+	if acc := Accuracy(faulty, train, labels, 1); acc < 0.8 {
 		t.Errorf("accuracy %v under 5%% BER; expected HDC resilience", acc)
 	}
 }
@@ -309,7 +309,7 @@ func TestEndToEndDataset(t *testing.T) {
 	trainH := encoding.EncodeAll(enc, ds.TrainX)
 	testH := encoding.EncodeAll(enc, ds.TestX)
 	m, _ := TrainEncoded(trainH, ds.TrainY, ds.Classes, Options{Epochs: 10, Seed: 1})
-	if acc := Evaluate(m, testH, ds.TestY); acc < 0.72 {
+	if acc := Accuracy(m, testH, ds.TestY, 1); acc < 0.72 {
 		t.Errorf("GENERIC on EEG accuracy = %.3f, want > 0.72", acc)
 	}
 }

@@ -71,11 +71,11 @@ func TestEvaluateAndPredictBatchMatchSerial(t *testing.T) {
 	m, _ := TrainEncoded(encoded, labels, 5, Options{Epochs: 3, Seed: 1, Workers: 1})
 	queries, qLabels := synthEncoded(t, 157, 512, 5, 13)
 
-	wantAcc := Evaluate(m, queries, qLabels)
+	wantAcc := Accuracy(m, queries, qLabels, 1)
 	wantPreds := m.PredictBatch(queries, 1)
 	for _, workers := range []int{2, 4, 7} {
-		if acc := EvaluateBatch(m, queries, qLabels, workers); acc != wantAcc {
-			t.Fatalf("workers=%d: EvaluateBatch %v, serial %v", workers, acc, wantAcc)
+		if acc := Accuracy(m, queries, qLabels, workers); acc != wantAcc {
+			t.Fatalf("workers=%d: Accuracy %v, serial %v", workers, acc, wantAcc)
 		}
 		preds := m.PredictBatch(queries, workers)
 		for i := range preds {

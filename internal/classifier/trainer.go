@@ -1,0 +1,190 @@
+package classifier
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/parallel"
+	"github.com/edge-hdc/generic/internal/perf"
+	"github.com/edge-hdc/generic/internal/telemetry"
+)
+
+// A Trainer is a pluggable training strategy: it turns pre-encoded
+// hypervectors into a *Model carrying the accelerator's bw-saturated int
+// class representation. Every strategy must honor the package's determinism
+// contract — same inputs, same Options.Seed ⇒ bit-identical model for every
+// Options.Workers value — and must leave the model with refreshed norms so
+// Predict/Quantize/fault-injection/modelio consume its output unmodified.
+//
+// Train may assume its inputs were validated (by classifier.Train): encoded
+// is nonempty with uniform dimensionality divisible by SubNormGranularity,
+// len(encoded) == len(labels), and every label lies in [0, nC).
+type Trainer interface {
+	// Name returns the registry name used for selection ("perceptron",
+	// "lehdc"); it is recorded in TrainResult.Trainer.
+	Name() string
+	// Train builds a model and reports how training went.
+	Train(encoded []hdc.Vec, labels []int, nC int, opt Options) (*Model, TrainResult)
+}
+
+// EpochStat records one training epoch's statistics — the per-epoch view
+// that dimension-scoring (DistHD-style) and training dashboards consume.
+type EpochStat struct {
+	// Epoch is the 1-based epoch index.
+	Epoch int
+	// Updates counts misclassified training samples this epoch: perceptron
+	// misprediction updates, or samples the LeHDC shadow model got wrong.
+	Updates int
+	// Loss is the epoch's mean training loss: the 0/1 error rate for the
+	// perceptron strategy, mean cross-entropy for LeHDC.
+	Loss float64
+	// LR is the learning rate in effect this epoch (1 for the perceptron
+	// rule, whose update has no scale knob).
+	LR float64
+}
+
+// TrainResult reports how a training run went.
+type TrainResult struct {
+	// Trainer is the resolved strategy name that produced the model.
+	Trainer string
+	// EpochsRun is the number of retraining epochs executed — at most
+	// opt.Epochs, fewer when the model converges early.
+	EpochsRun int
+	// FinalUpdates is the number of misprediction updates in the last epoch
+	// run (zero means the model converged).
+	FinalUpdates int
+	// FinalLoss is the last epoch's mean training loss (see EpochStat.Loss).
+	FinalLoss float64
+	// Epochs holds the per-epoch statistics, one entry per epoch run.
+	Epochs []EpochStat
+}
+
+// trainerFactories is the strategy registry. The empty name selects the
+// paper's perceptron strategy, keeping zero-valued Options meaning "train
+// exactly as the paper does".
+var trainerFactories = map[string]func() Trainer{
+	"":           func() Trainer { return PerceptronTrainer{} },
+	"perceptron": func() Trainer { return PerceptronTrainer{} },
+	"lehdc":      func() Trainer { return LeHDCTrainer{} },
+}
+
+// NewTrainer resolves a strategy name from the registry.
+func NewTrainer(name string) (Trainer, error) {
+	f, ok := trainerFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("classifier: unknown trainer %q (known: %v)", name, TrainerNames())
+	}
+	return f(), nil
+}
+
+// TrainerNames returns the selectable strategy names, sorted.
+func TrainerNames() []string {
+	keys := make([]string, 0, len(trainerFactories))
+	for name := range trainerFactories {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
+	names := keys[:0]
+	for _, name := range keys {
+		if name != "" { // the "" alias of the default strategy is not selectable
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// Train is the canonical training entry point: it validates the training
+// set, resolves the strategy selected by opt.Trainer, and dispatches. The
+// TrainEncoded/TrainEncodedResult wrappers panic on the errors this returns.
+func Train(encoded []hdc.Vec, labels []int, nC int, opt Options) (*Model, TrainResult, error) {
+	opt = opt.withDefaults()
+	if err := validateTraining(encoded, labels, nC); err != nil {
+		return nil, TrainResult{}, err
+	}
+	tr, err := NewTrainer(opt.Trainer)
+	if err != nil {
+		return nil, TrainResult{}, err
+	}
+	start := telemetry.Now()
+	m, res := tr.Train(encoded, labels, nC, opt)
+	res.Trainer = tr.Name()
+	telemetry.FitEpochs.Add(int64(res.EpochsRun))
+	telemetry.FitSamples.Add(int64(len(encoded)))
+	telemetry.FitNS.ObserveSince(start)
+	return m, res, nil
+}
+
+// validateTraining checks the encoded set's shape upfront — mirroring
+// Pipeline.Fit's raw-input validation — so malformed input is an error here
+// rather than a panic deep inside a strategy.
+func validateTraining(encoded []hdc.Vec, labels []int, nC int) error {
+	if nC < 2 {
+		return fmt.Errorf("classifier: Train: need at least 2 classes, got %d", nC)
+	}
+	if len(encoded) == 0 {
+		return fmt.Errorf("classifier: Train: empty training set")
+	}
+	if len(encoded) != len(labels) {
+		return fmt.Errorf("classifier: Train: %d encoded samples vs %d labels", len(encoded), len(labels))
+	}
+	d := len(encoded[0])
+	if d <= 0 || d%SubNormGranularity != 0 {
+		return fmt.Errorf("classifier: Train: D=%d must be a positive multiple of %d", d, SubNormGranularity)
+	}
+	for i, h := range encoded {
+		if len(h) != d {
+			return fmt.Errorf("classifier: Train: sample %d has %d dims, want %d", i, len(h), d)
+		}
+	}
+	for i, y := range labels {
+		if y < 0 || y >= nC {
+			return fmt.Errorf("classifier: Train: label %d at sample %d out of range [0,%d)", y, i, nC)
+		}
+	}
+	return nil
+}
+
+// bundleClasses is the shared one-shot initialization (Fig. 1a): per-class
+// accumulation of the encoded set, saturation at opt.BW, and a norm refresh.
+// The bundling fans across opt.Workers workers with per-worker partial class
+// sums merged in worker order — integer accumulation is order-independent,
+// so the result is bit-identical to a serial build. Both strategies start
+// from this model.
+func bundleClasses(encoded []hdc.Vec, labels []int, nC int, opt Options, sp *perf.Span) *Model {
+	initSpan := sp.Child("fit.init")
+	defer initSpan.End()
+	m := NewModel(len(encoded[0]), nC, opt.BW)
+	workers := parallel.Workers(opt.Workers)
+	if workers > 1 && len(encoded) >= 2*workers {
+		d := m.d
+		partials := make([][]hdc.Vec, workers)
+		parallel.ForChunks(workers, len(encoded), func(w, lo, hi int) {
+			sums := make([]hdc.Vec, nC)
+			for i := lo; i < hi; i++ {
+				c := labels[i]
+				if sums[c] == nil {
+					sums[c] = hdc.NewVec(d)
+				}
+				sums[c].AddInto(encoded[i])
+			}
+			partials[w] = sums
+		})
+		for _, sums := range partials {
+			for c, s := range sums {
+				if s != nil {
+					m.classes[c].AddInto(s)
+				}
+			}
+		}
+	} else {
+		for i, h := range encoded {
+			m.classes[labels[i]].AddInto(h)
+		}
+	}
+	parallel.For(workers, nC, func(_, c int) {
+		m.classes[c].Saturate(m.bw)
+		m.refreshNorms(c)
+	})
+	return m
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrainersShape(t *testing.T) {
+	cfg := QuickConfig()
+	res, err := Trainers(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 {
+		t.Fatalf("expected 11 benchmarks, got %d", len(res.Rows))
+	}
+	d := trainersD(cfg)
+	for _, r := range res.Rows {
+		if r.D != d {
+			t.Errorf("%s ran at D=%d, want the shared compact D=%d", r.Dataset, r.D, d)
+		}
+		if r.Perceptron <= 0 || r.LeHDC <= 0 {
+			t.Errorf("%s has a zero accuracy column: %+v", r.Dataset, r)
+		}
+		if r.PerceptronEpochs < 1 || r.LeHDCEpochs < 1 {
+			t.Errorf("%s reports no epochs: %+v", r.Dataset, r)
+		}
+	}
+	// The acceptance bar for the learned strategy: it beats the perceptron
+	// on at least one benchmark at equal D.
+	if res.Wins < 1 {
+		t.Errorf("lehdc beats the perceptron on %d benchmarks, want >= 1", res.Wins)
+	}
+	out := res.String()
+	for _, want := range []string{"perceptron", "lehdc", "Mean", "CARDIO"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrainersDatasetSingleRow(t *testing.T) {
+	row, err := TrainersDataset("EEG", QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Dataset != "EEG" || row.Perceptron == 0 || row.LeHDC == 0 {
+		t.Fatalf("bad row: %+v", row)
+	}
+}
+
+func TestTrainersUnknownDataset(t *testing.T) {
+	if _, err := TrainersDataset("NOPE", QuickConfig()); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

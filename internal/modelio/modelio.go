@@ -16,6 +16,11 @@
 // preceding byte (magic through payload). Version-1 files have no footer
 // and still load; Bundle.HasChecksum reports which kind was read, so
 // callers can surface a "no checksum" note for legacy files.
+//
+// Version 3 records the training strategy that produced the model — a
+// length-prefixed name (u16 length + bytes, at most 64) between the model
+// header and the class payload, covered by the CRC footer. Version-1 and -2
+// files still load with an empty Trainer.
 package modelio
 
 import (
@@ -34,9 +39,15 @@ import (
 
 const (
 	magic   = "GHDC"
-	version = 2
+	version = 3
+	// versionNoTrainer is the pre-strategy format (checksummed but without
+	// the trainer-name field), still readable and writable for tests.
+	versionNoTrainer = 2
 	// versionNoChecksum is the legacy footerless format, still readable.
 	versionNoChecksum = 1
+	// maxTrainerLen bounds the trainer-name field so a corrupt length word
+	// cannot drive a large allocation.
+	maxTrainerLen = 64
 )
 
 // ErrChecksum reports a version-2 stream whose CRC32 footer does not match
@@ -51,6 +62,10 @@ type Bundle struct {
 	Kind  encoding.Kind
 	Cfg   encoding.Config
 	Model *classifier.Model
+	// Trainer names the training strategy that produced the model
+	// ("perceptron", "lehdc"); empty for files predating version 3 or for
+	// models whose provenance is unknown.
+	Trainer string
 	// HasChecksum is set by Read: true when the stream carried (and passed)
 	// a CRC32 integrity footer, false for legacy version-1 files.
 	HasChecksum bool
@@ -112,10 +127,21 @@ func writeVersioned(w io.Writer, b *Bundle, ver uint16) error {
 	if err := writeF64(cfg.Hi); err != nil {
 		return err
 	}
-	// Model header + class payload.
+	// Model header + trainer name (v3+) + class payload.
 	m := b.Model
 	for _, v := range []uint32{uint32(m.D()), uint32(m.Classes()), uint32(m.BW())} {
 		if err := writeU32(v); err != nil {
+			return err
+		}
+	}
+	if ver >= 3 {
+		if len(b.Trainer) > maxTrainerLen {
+			return fmt.Errorf("modelio: trainer name %d bytes, limit %d", len(b.Trainer), maxTrainerLen)
+		}
+		if err := writeU16(uint16(len(b.Trainer))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(b.Trainer); err != nil {
 			return err
 		}
 	}
@@ -175,7 +201,7 @@ func Read(r io.Reader) (*Bundle, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != version && ver != versionNoChecksum {
+	if ver != version && ver != versionNoTrainer && ver != versionNoChecksum {
 		return nil, fmt.Errorf("modelio: unsupported version %d", ver)
 	}
 	kind, err := readU16()
@@ -224,6 +250,20 @@ func Read(r io.Reader) (*Bundle, error) {
 	}
 	if mBW < 1 || mBW > 16 {
 		return nil, fmt.Errorf("modelio: bad bit-width %d", mBW)
+	}
+	if ver >= 3 {
+		tlen, err := readU16()
+		if err != nil {
+			return nil, fmt.Errorf("modelio: reading trainer name: %w", err)
+		}
+		if tlen > maxTrainerLen {
+			return nil, fmt.Errorf("modelio: trainer name %d bytes, limit %d", tlen, maxTrainerLen)
+		}
+		name := make([]byte, tlen)
+		if _, err := io.ReadFull(tr, name); err != nil {
+			return nil, fmt.Errorf("modelio: reading trainer name: %w", err)
+		}
+		b.Trainer = string(name)
 	}
 	m := classifier.NewModel(int(mD), int(mClasses), int(mBW))
 	buf := make([]byte, 2)

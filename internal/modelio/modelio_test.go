@@ -207,7 +207,69 @@ func TestHasChecksumReported(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !got.HasChecksum {
-		t.Error("version-2 stream did not report HasChecksum")
+		t.Error("current-version stream did not report HasChecksum")
+	}
+}
+
+func TestTrainerRoundTrip(t *testing.T) {
+	b := trainedBundle(t)
+	b.Trainer = "lehdc"
+	var buf bytes.Buffer
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trainer != "lehdc" {
+		t.Errorf("trainer after round trip = %q, want %q", got.Trainer, "lehdc")
+	}
+	// An empty trainer (provenance unknown) round-trips too.
+	b.Trainer = ""
+	buf.Reset()
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = Read(&buf); err != nil || got.Trainer != "" {
+		t.Errorf("empty trainer round trip: %q, %v", got.Trainer, err)
+	}
+}
+
+func TestTrainerNameTooLong(t *testing.T) {
+	b := trainedBundle(t)
+	b.Trainer = strings.Repeat("x", maxTrainerLen+1)
+	if err := Write(io.Discard, b); err == nil {
+		t.Error("oversized trainer name accepted")
+	}
+}
+
+// Version-2 files (checksummed, no trainer field) must still load, with an
+// empty Trainer.
+func TestVersion2Compatibility(t *testing.T) {
+	b := trainedBundle(t)
+	b.Trainer = "perceptron" // must be dropped, not mis-written, at v2
+	var buf bytes.Buffer
+	if err := writeVersioned(&buf, b, versionNoTrainer); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("reading v2 stream: %v", err)
+	}
+	if !got.HasChecksum {
+		t.Error("v2 stream did not report HasChecksum")
+	}
+	if got.Trainer != "" {
+		t.Errorf("v2 stream produced trainer %q, want empty", got.Trainer)
+	}
+	for c := 0; c < b.Model.Classes(); c++ {
+		want, have := b.Model.Class(c), got.Model.Class(c)
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("v2 class %d dim %d: %d != %d", c, i, have[i], want[i])
+			}
+		}
 	}
 }
 

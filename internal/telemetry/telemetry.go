@@ -317,10 +317,16 @@ var (
 	// Classification: per-query scoring latency (Model.PredictDims, which
 	// Predict/PredictBatch and the retraining loop all call), training
 	// passes, and online adaptation.
-	PredictNS    = Default.Histogram("predict_ns")
-	FitNS        = Default.Histogram("fit_ns")
-	FitEpochs    = Default.Counter("fit_epochs_total")
-	FitSamples   = Default.Counter("fit_samples_total")
+	PredictNS  = Default.Histogram("predict_ns")
+	FitNS      = Default.Histogram("fit_ns")
+	FitEpochs  = Default.Counter("fit_epochs_total")
+	FitSamples = Default.Counter("fit_samples_total")
+	// FitUpdates counts misclassified training samples per epoch across all
+	// strategies (perceptron misprediction updates, LeHDC shadow-model
+	// misses); FitLossMicro is the last trained epoch's mean loss in
+	// micro-units (loss × 1e6 — the registry's instruments are integral).
+	FitUpdates   = Default.Counter("fit_updates_total")
+	FitLossMicro = Default.Gauge("fit_loss_micro")
 	AdaptNS      = Default.Histogram("adapt_ns")
 	AdaptUpdates = Default.Counter("adapt_updates_total")
 

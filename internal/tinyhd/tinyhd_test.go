@@ -61,7 +61,7 @@ func TestQuantizedNotBetterThanFull(t *testing.T) {
 	m, enc, ds := trainedSetup(t, "FACE")
 	e, _ := FromModel(m, enc)
 	testH := encoding.EncodeAll(enc, ds.TestX)
-	full := classifier.Evaluate(m, testH, ds.TestY)
+	full := classifier.Accuracy(m, testH, ds.TestY, 1)
 	preds := e.InferAll(ds.TestX)
 	quant := metrics.MustAccuracy(preds, ds.TestY)
 	if quant > full+0.02 {
@@ -76,7 +76,7 @@ func TestGenericBeatsTinyHDOnFragileBenchmark(t *testing.T) {
 	m, enc, ds := trainedSetup(t, "EEG")
 	e, _ := FromModel(m, enc)
 	testH := encoding.EncodeAll(enc, ds.TestX)
-	full := classifier.Evaluate(m, testH, ds.TestY)
+	full := classifier.Accuracy(m, testH, ds.TestY, 1)
 	quant := metrics.MustAccuracy(e.InferAll(ds.TestX), ds.TestY)
 	if full-quant < 0.1 {
 		t.Errorf("expected a clear GENERIC advantage on EEG: full %.3f vs tiny-HD %.3f", full, quant)

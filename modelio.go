@@ -24,7 +24,9 @@ func (p *Pipeline) Save(w io.Writer) error {
 	if err := p.trained("Save"); err != nil {
 		return err
 	}
-	return modelio.Write(w, &modelio.Bundle{Kind: p.enc.Kind(), Cfg: p.enc.Config(), Model: p.model})
+	return modelio.Write(w, &modelio.Bundle{
+		Kind: p.enc.Kind(), Cfg: p.enc.Config(), Model: p.model, Trainer: p.trainer,
+	})
 }
 
 // SaveFile is Save to a file path.
@@ -62,6 +64,7 @@ func LoadPipeline(r io.Reader) (*Pipeline, error) {
 	}
 	p := NewPipeline(enc, b.Model.Classes())
 	p.model = b.Model
+	p.trainer = b.Trainer
 	p.hasChecksum = b.HasChecksum
 	return p, nil
 }
