@@ -22,6 +22,17 @@
 //   - depapi:     repository code does not call the deprecated batch entry
 //     points (Pipeline.PredictBatch, Pipeline.AccuracyWorkers) — new code
 //     uses the variadic-option forms.
+//   - hotalloc:   //generic:hotpath functions (and default-hot internal/hdc
+//     kernels) do not allocate: no escaping literals, bare make/append,
+//     defer, closures, interface boxing, or unvetted helper calls. See
+//     DESIGN.md "Performance contract".
+//   - lockshape:  in the lock-heavy serving packages, no mixed
+//     atomic/direct field access, mutex value copies, RLock→Lock
+//     upgrades, or sync.Pool use-after-Put.
+//
+// A third performance check is not an analyzer: the alloc-budget gate
+// (internal/analysis/budget) measures real allocs/op with
+// testing.AllocsPerRun against the committed ALLOC_BUDGET.json.
 //
 // Findings can be suppressed with a staticcheck-style directive on the line
 // of, or the line immediately above, the offending node:
@@ -52,7 +63,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, EncShare, MergeOrder, DimGuard, DepAPI}
+	return []*Analyzer{DetRand, EncShare, MergeOrder, DimGuard, DepAPI, HotAlloc, LockShape}
 }
 
 // ByName resolves a comma-separated analyzer list ("detrand,dimguard").
@@ -153,6 +164,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			a.Run(pass)
 		}
 	}
+	SortFindings(findings)
+	return findings
+}
+
+// SortFindings orders findings by file position then analyzer name — the
+// engine's canonical output order. Exported so callers merging extra
+// findings (the -escapes mode) can restore it.
+func SortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -166,7 +185,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings
+}
+
+// FilterSuppressed drops findings covered by lint:ignore directives in pkgs.
+// Run applies this internally; findings produced outside Run (escape
+// reconciliation) go through here so directives work uniformly.
+func FilterSuppressed(pkgs []*Package, findings []Finding) []Finding {
+	sup := suppressions{}
+	for _, pkg := range pkgs {
+		s, _ := directives(pkg.Fset, pkg.Files)
+		for k, v := range s {
+			sup[k] = v
+		}
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if !sup.suppressed(f) {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // ignorePrefix is the directive form this suite honors. The "lint:" vocabulary

@@ -106,6 +106,11 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{name: "dimguard out of scope", dir: "dimguard", path: "example.com/m/internal/tinyhd", analyzers: []*Analyzer{DimGuard}},
 		{name: "directives", dir: "directive", path: "example.com/m/internal/directive", analyzers: nil,
 			extraWant: []string{"directive.go:7 directive", "directive.go:10 directive"}},
+		{name: "hotalloc annotated", dir: "hotalloc", path: "example.com/m/internal/encoding", analyzers: []*Analyzer{HotAlloc}},
+		{name: "hotalloc hdc default-hot", dir: "hotallochdc", path: "example.com/m/internal/hdc", analyzers: []*Analyzer{HotAlloc}},
+		{name: "hotalloc hdc default-hot out of scope", dir: "hotallochdc", path: "example.com/m/hdcmirror", analyzers: []*Analyzer{HotAlloc}},
+		{name: "lockshape", dir: "lockshape", path: "example.com/m/cmd/generic-serve", analyzers: []*Analyzer{LockShape}},
+		{name: "lockshape out of scope", dir: "lockshape", path: "example.com/m/serveapp", analyzers: []*Analyzer{LockShape}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -172,9 +177,12 @@ func TestInternalPkgScoping(t *testing.T) {
 
 // TestLoadRepo exercises the go list -json loader against the real module.
 func TestLoadRepo(t *testing.T) {
-	pkgs, err := Load("../..", []string{"./internal/hdc"})
+	pkgs, loadErrs, err := Load("../..", []string{"./internal/hdc"})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(loadErrs) != 0 {
+		t.Fatalf("load errors on the real module: %v", loadErrs)
 	}
 	if len(pkgs) != 1 {
 		t.Fatalf("loaded %d packages, want 1", len(pkgs))

@@ -1,0 +1,116 @@
+package budget
+
+import (
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite ALLOC_BUDGET.json with the measured allocs/op")
+
+const budgetPath = "../../../ALLOC_BUDGET.json"
+
+// measure runs every registered op under testing.AllocsPerRun.
+func measure(t *testing.T) map[string]float64 {
+	t.Helper()
+	measured := map[string]float64{}
+	for _, op := range Ops() {
+		if _, dup := measured[op.Name]; dup {
+			t.Fatalf("duplicate op name %q in registry", op.Name)
+		}
+		measured[op.Name] = testing.AllocsPerRun(100, op.Run)
+	}
+	return measured
+}
+
+// TestAllocBudget is the alloc-budget gate: every registered hot op must
+// measure at or under its committed budget. Run with -update to ratify
+// changed numbers into ALLOC_BUDGET.json (a reviewed diff, like
+// BENCH_GENERIC.json).
+func TestAllocBudget(t *testing.T) {
+	measured := measure(t)
+
+	if *update {
+		f := File{Schema: SchemaVersion}
+		for name, got := range measured {
+			f.Entries = append(f.Entries, Entry{Name: name, MaxAllocsPerOp: got})
+		}
+		if err := f.Write(budgetPath); err != nil {
+			t.Fatal(err)
+		}
+		abs, _ := filepath.Abs(budgetPath)
+		t.Logf("wrote %d budgets to %s", len(f.Entries), abs)
+		return
+	}
+
+	f, err := ReadFile(budgetPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/analysis/budget -run TestAllocBudget -update)", err)
+	}
+	for _, v := range Check(f, measured) {
+		t.Error(v)
+	}
+}
+
+// TestGateCatchesInjectedAlloc proves the gate actually fires: an op that
+// allocates once per call against a zero budget must come back over-budget.
+func TestGateCatchesInjectedAlloc(t *testing.T) {
+	var sink []byte
+	leaky := Op{Name: "test/leaky", Run: func() { sink = make([]byte, 1024) }}
+	_ = sink
+	got := testing.AllocsPerRun(100, leaky.Run)
+	if got < 1 {
+		t.Fatalf("injected alloc measured %.1f allocs/op; harness cannot see allocations", got)
+	}
+	f := File{Schema: SchemaVersion, Entries: []Entry{{Name: "test/leaky", MaxAllocsPerOp: 0}}}
+	vs := Check(f, map[string]float64{"test/leaky": got})
+	if len(vs) != 1 || vs[0].Kind != "over-budget" {
+		t.Fatalf("gate did not flag the injected allocation: %v", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "budget 0.0") {
+		t.Errorf("violation detail = %q", vs[0].Detail)
+	}
+}
+
+// TestCheckMissingAndStale covers the other two failure modes: a new hot op
+// with no ratified budget, and a budget entry whose op was deleted.
+func TestCheckMissingAndStale(t *testing.T) {
+	f := File{Schema: SchemaVersion, Entries: []Entry{
+		{Name: "old/gone", MaxAllocsPerOp: 2},
+		{Name: "still/here", MaxAllocsPerOp: 1},
+	}}
+	vs := Check(f, map[string]float64{"still/here": 1, "new/unratified": 0})
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(vs), vs)
+	}
+	kinds := map[string]string{}
+	for _, v := range vs {
+		kinds[v.Name] = v.Kind
+	}
+	if kinds["new/unratified"] != "missing-entry" || kinds["old/gone"] != "stale-entry" {
+		t.Errorf("violation kinds = %v", kinds)
+	}
+}
+
+// TestBudgetFileRoundTrip pins the on-disk schema.
+func TestBudgetFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ALLOC_BUDGET.json")
+	f := File{Entries: []Entry{
+		{Name: "b/second", MaxAllocsPerOp: 1},
+		{Name: "a/first", MaxAllocsPerOp: 0},
+	}}
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || len(got.Entries) != 2 {
+		t.Fatalf("round-trip = %+v", got)
+	}
+	if got.Entries[0].Name != "a/first" || got.Entries[1].Name != "b/second" {
+		t.Errorf("entries not sorted on write: %+v", got.Entries)
+	}
+}

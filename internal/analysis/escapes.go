@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// This file implements the optional -escapes mode: hotalloc's checks are
+// syntactic heuristics, while the compiler's escape analysis is ground truth
+// for what actually reaches the heap. generic-lint -escapes shells out to
+// `go build -gcflags=-m=1`, parses the diagnostics, and reports any heap
+// escape inside a hotpath function that hotalloc did not already flag — so
+// the heuristic and compiler views reconcile instead of silently diverging.
+
+// An EscapeDiag is one heap diagnostic from `go build -gcflags=-m=1`.
+type EscapeDiag struct {
+	File    string // as printed by the compiler, usually module-relative
+	Line    int
+	Col     int
+	Message string
+}
+
+// ParseEscapes extracts heap diagnostics ("escapes to heap", "moved to
+// heap") from compiler -m output, ignoring inlining chatter and the
+// "# pkgpath" group headers.
+func ParseEscapes(out []byte) []EscapeDiag {
+	var diags []EscapeDiag
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// file.go:line:col: message
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[1])
+		col, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		diags = append(diags, EscapeDiag{
+			File: parts[0], Line: ln, Col: col,
+			Message: strings.TrimSpace(parts[3]),
+		})
+	}
+	return diags
+}
+
+// A HotRegion is the line span of one hotpath function, for matching
+// compiler diagnostics against the contract's scope.
+type HotRegion struct {
+	File      string // as recorded in the package's FileSet
+	Func      string
+	StartLine int
+	EndLine   int
+	// Cold holds [start, end] line spans inside the function that are dead
+	// on the hot path — panic-guard bodies and panic arguments, the same
+	// exemption hotalloc applies. Escapes there (error-message formatting,
+	// mostly) are the cold price of failing, not a hot-path cost.
+	Cold [][2]int
+}
+
+// coldLine reports whether line falls in one of the region's cold spans.
+func (r HotRegion) coldLine(line int) bool {
+	for _, span := range r.Cold {
+		if line >= span[0] && line <= span[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// HotRegions returns the hotpath function spans of a loaded package, using
+// the same selection rule as the hotalloc analyzer.
+func HotRegions(pkg *Package) []HotRegion {
+	pass := &Pass{
+		Module: pkg.Module, Path: pkg.ImportPath,
+		Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info,
+	}
+	hot, decls := hotFuncs(pass)
+	var regions []HotRegion
+	for obj, fd := range decls {
+		if !hot[obj] {
+			continue
+		}
+		start := pkg.Fset.Position(fd.Pos())
+		end := pkg.Fset.Position(fd.End())
+		region := HotRegion{
+			File: start.Filename, Func: fd.Name.Name,
+			StartLine: start.Line, EndLine: end.Line,
+		}
+		if fd.Body == nil {
+			regions = append(regions, region)
+			continue
+		}
+		for node := range coldRegions(pass, fd.Body) {
+			region.Cold = append(region.Cold, [2]int{
+				pkg.Fset.Position(node.Pos()).Line,
+				pkg.Fset.Position(node.End()).Line,
+			})
+		}
+		// Calls to pure guard helpers (mustSameDim and kin) are cold too:
+		// the compiler inlines them, so their panic-path escapes — the
+		// message and its arguments — are attributed to the call line here
+		// rather than to any syntactic panic block.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil {
+				return true
+			}
+			if gd, ok := decls[callee]; ok && pureGuard(pass, gd) {
+				region.Cold = append(region.Cold, [2]int{
+					pkg.Fset.Position(call.Pos()).Line,
+					pkg.Fset.Position(call.End()).Line,
+				})
+			}
+			return true
+		})
+		regions = append(regions, region)
+	}
+	return regions
+}
+
+// ReconcileEscapes cross-checks compiler escape diagnostics against the
+// hotpath regions of pkgs, returning findings (analyzer "escapes") for each
+// heap escape inside a hot function that existing does not already cover at
+// the same file and line. Positions are rewritten to the FileSet's file
+// names so suppression directives and sorting work unchanged.
+func ReconcileEscapes(pkgs []*Package, diags []EscapeDiag, existing []Finding) []Finding {
+	covered := map[string]bool{}
+	for _, f := range existing {
+		covered[fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, region := range HotRegions(pkg) {
+			for _, d := range diags {
+				if d.Line < region.StartLine || d.Line > region.EndLine || !sameFile(d.File, region.File) {
+					continue
+				}
+				if region.coldLine(d.Line) || coldMessage(d.Message) {
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", region.File, d.Line)
+				if covered[key] {
+					continue
+				}
+				covered[key] = true
+				out = append(out, Finding{
+					Analyzer: "escapes",
+					Pos:      token.Position{Filename: region.File, Line: d.Line, Column: d.Col},
+					Message: fmt.Sprintf("compiler escape analysis: %s inside hotpath %s, not covered by a hotalloc finding; restructure so the value stays on the stack",
+						d.Message, region.Func),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// pureGuard reports whether fd's body consists solely of if-blocks that end
+// in panic — a validation helper with no hot-path work of its own.
+func pureGuard(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range fd.Body.List {
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok || !blockEndsInPanic(pass, ifs.Body) {
+			return false
+		}
+	}
+	return true
+}
+
+// coldMessage reports whether a diagnostic describes panic/error-message
+// material rather than hot-path data. Guard helpers (mustSameDim and kin)
+// are inlined into their hot callers, so their panic-argument escapes are
+// attributed to the call line — outside any syntactic cold span. The
+// escaping values are recognizable instead: quoted string constants and
+// fmt.Sprintf calls, which hot-path data (slices, structs, boxed scalars)
+// never prints as.
+func coldMessage(msg string) bool {
+	return strings.HasPrefix(msg, `"`) || strings.Contains(msg, "fmt.Sprintf(")
+}
+
+// sameFile matches a compiler-printed path (usually relative) against a
+// FileSet path (usually absolute): equal after cleaning, or one is a
+// path-boundary suffix of the other.
+func sameFile(a, b string) bool {
+	a, b = filepath.ToSlash(filepath.Clean(a)), filepath.ToSlash(filepath.Clean(b))
+	if a == b {
+		return true
+	}
+	return strings.HasSuffix(a, "/"+b) || strings.HasSuffix(b, "/"+a)
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const escapesFixtureOut = `# example.com/m/internal/hdc
+testdata/src/hotallochdc/hotallochdc.go:20:6: can inline NewBadVec
+testdata/src/hotallochdc/hotallochdc.go:21:11: make(Vec, len(o)) escapes to heap
+testdata/src/hotallochdc/hotallochdc.go:29:22: ... argument does not escape
+testdata/src/hotallochdc/hotallochdc.go:38:13: make(Vec, len(v)) escapes to heap
+testdata/src/hotallochdc/hotallochdc.go:31:9: moved to heap: x
+mangled line that still escapes to heap
+`
+
+func TestParseEscapes(t *testing.T) {
+	diags := ParseEscapes([]byte(escapesFixtureOut))
+	if len(diags) != 3 {
+		t.Fatalf("parsed %d diagnostics, want 3: %+v", len(diags), diags)
+	}
+	want := []EscapeDiag{
+		{File: "testdata/src/hotallochdc/hotallochdc.go", Line: 21, Col: 11, Message: "make(Vec, len(o)) escapes to heap"},
+		{File: "testdata/src/hotallochdc/hotallochdc.go", Line: 38, Col: 13, Message: "make(Vec, len(v)) escapes to heap"},
+		{File: "testdata/src/hotallochdc/hotallochdc.go", Line: 31, Col: 9, Message: "moved to heap: x"},
+	}
+	for i, d := range diags {
+		if d != want[i] {
+			t.Errorf("diag %d = %+v, want %+v", i, d, want[i])
+		}
+	}
+}
+
+// regionsByFunc loads the hdc mirror fixture and indexes its hot regions so
+// the reconciliation tests can reference lines relative to declarations
+// instead of hard-coding fixture line numbers.
+func regionsByFunc(t *testing.T) (*Package, map[string]HotRegion) {
+	t.Helper()
+	pkg := loadFixture(t, "hotallochdc", "example.com/m/internal/hdc")
+	byFunc := map[string]HotRegion{}
+	for _, r := range HotRegions(pkg) {
+		byFunc[r.Func] = r
+	}
+	return pkg, byFunc
+}
+
+func TestHotRegions(t *testing.T) {
+	_, byFunc := regionsByFunc(t)
+	for _, name := range []string{"AddInto", "Scaled", "Grow", "Shrink", "Reverse"} {
+		r, ok := byFunc[name]
+		if !ok {
+			t.Errorf("hot region for %s missing", name)
+			continue
+		}
+		if r.StartLine <= 0 || r.EndLine < r.StartLine {
+			t.Errorf("%s region has bad span %d-%d", name, r.StartLine, r.EndLine)
+		}
+		if !strings.HasSuffix(r.File, "hotallochdc.go") {
+			t.Errorf("%s region file = %q", name, r.File)
+		}
+	}
+	// Constructors, receiver-only methods, and coldpath opt-outs must not
+	// produce regions: the compiler is allowed to see escapes there.
+	for _, name := range []string{"NewBadVec", "Describe", "Materialize"} {
+		if _, ok := byFunc[name]; ok {
+			t.Errorf("%s must not be a hot region", name)
+		}
+	}
+}
+
+func TestReconcileEscapes(t *testing.T) {
+	pkg, byFunc := regionsByFunc(t)
+	add, scaled := byFunc["AddInto"], byFunc["Scaled"]
+
+	t.Run("escape inside hot region is reported", func(t *testing.T) {
+		// EndLine-1 is the loop body's closing line: hot, outside the
+		// panic-guard cold span at the top of the function.
+		diags := []EscapeDiag{{File: add.File, Line: add.EndLine - 1, Col: 3, Message: "moved to heap: x"}}
+		got := ReconcileEscapes([]*Package{pkg}, diags, nil)
+		if len(got) != 1 {
+			t.Fatalf("got %d findings, want 1: %v", len(got), got)
+		}
+		f := got[0]
+		if f.Analyzer != "escapes" || f.Pos.Filename != add.File || f.Pos.Line != add.EndLine-1 {
+			t.Errorf("finding = %+v", f)
+		}
+		if !strings.Contains(f.Message, "AddInto") {
+			t.Errorf("message does not name the hot function: %q", f.Message)
+		}
+	})
+
+	t.Run("compiler-relative path matches fileset path", func(t *testing.T) {
+		diags := []EscapeDiag{{File: "/abs/checkout/" + add.File, Line: add.EndLine - 1, Message: "moved to heap: x"}}
+		if got := ReconcileEscapes([]*Package{pkg}, diags, nil); len(got) != 1 {
+			t.Fatalf("suffix-matched diag produced %d findings, want 1", len(got))
+		}
+	})
+
+	t.Run("escape outside hot regions is ignored", func(t *testing.T) {
+		// Line 1 is the package comment: never inside a function.
+		diags := []EscapeDiag{
+			{File: add.File, Line: 1, Message: "escapes to heap"},
+			{File: "elsewhere.go", Line: add.EndLine - 1, Message: "escapes to heap"},
+		}
+		if got := ReconcileEscapes([]*Package{pkg}, diags, nil); len(got) != 0 {
+			t.Fatalf("cold/foreign diags produced findings: %v", got)
+		}
+	})
+
+	t.Run("panic-guard lines and message shapes are cold", func(t *testing.T) {
+		// AddInto opens with an if-panic dimension guard: escapes attributed
+		// there are the cold price of failing, not a hot-path cost.
+		diags := []EscapeDiag{
+			{File: add.File, Line: add.StartLine + 1, Message: "escapes to heap"},
+			{File: add.File, Line: add.EndLine - 1, Message: `"hdc: boom" escapes to heap`},
+			{File: add.File, Line: add.EndLine - 1, Message: "fmt.Sprintf(\"hdc: %d\", d) escapes to heap"},
+		}
+		if got := ReconcileEscapes([]*Package{pkg}, diags, nil); len(got) != 0 {
+			t.Fatalf("cold escapes were reported: %v", got)
+		}
+	})
+
+	t.Run("hotalloc finding on the same line wins", func(t *testing.T) {
+		diags := []EscapeDiag{{File: scaled.File, Line: scaled.StartLine + 1, Message: "make(Vec, len(v)) escapes to heap"}}
+		existing := []Finding{{
+			Analyzer: "hotalloc",
+			Pos:      token.Position{Filename: scaled.File, Line: scaled.StartLine + 1},
+		}}
+		if got := ReconcileEscapes([]*Package{pkg}, diags, existing); len(got) != 0 {
+			t.Fatalf("diag already covered by hotalloc was re-reported: %v", got)
+		}
+	})
+
+	t.Run("lint:ignore generic/escapes suppresses", func(t *testing.T) {
+		rev := byFunc["Reverse"]
+		// The fixture's directive sits on the first statement line; it covers
+		// its own line and the one below.
+		diags := []EscapeDiag{{File: rev.File, Line: rev.StartLine + 2, Message: "escapes to heap"}}
+		got := ReconcileEscapes([]*Package{pkg}, diags, nil)
+		if len(got) != 1 {
+			t.Fatalf("reconcile produced %d findings, want 1 before suppression", len(got))
+		}
+		if got = FilterSuppressed([]*Package{pkg}, got); len(got) != 0 {
+			t.Fatalf("generic/escapes directive did not suppress: %v", got)
+		}
+	})
+}
+
+func TestSameFile(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"a/b/c.go", "a/b/c.go", true},
+		{"/abs/mod/a/b/c.go", "a/b/c.go", true},
+		{"a/b/c.go", "/abs/mod/a/b/c.go", true},
+		{"bb/c.go", "a/b/c.go", false},
+		{"c.go", "d.go", false},
+	}
+	for _, tc := range cases {
+		if got := sameFile(tc.a, tc.b); got != tc.want {
+			t.Errorf("sameFile(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is the wire form of one finding for generic-lint -json: flat
+// fields CI can turn into GitHub annotations without knowing the engine.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON encodes findings as a JSON array in their given (sorted) order.
+// An empty run encodes as [], never null, so consumers can range without a
+// nil check.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Analyzer: f.Analyzer, Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

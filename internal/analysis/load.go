@@ -32,13 +32,31 @@ type listPackage struct {
 	Module     *struct{ Path string }
 }
 
+// A LoadError records one listed package that could not be parsed or
+// type-checked. Loading continues past it so the rest of the tree is still
+// analyzed, but the caller must surface the failure: findings from a partial
+// load are a lower bound, not a clean bill.
+type LoadError struct {
+	ImportPath string
+	Err        error
+}
+
+func (e LoadError) Error() string {
+	return fmt.Sprintf("%s: %v", e.ImportPath, e.Err)
+}
+
 // Load resolves patterns (e.g. "./...") to packages via `go list -json`,
 // parses their non-test files, and type-checks them with the stdlib source
 // importer. dir is the working directory for the go command and must lie
 // inside the module under analysis. Test files are skipped by construction:
 // the contracts bind library code, and tests routinely violate them on
 // purpose to prove the guarantees hold.
-func Load(dir string, patterns []string) ([]*Package, error) {
+//
+// A package that fails to parse or type-check does not abort the load: it is
+// reported in the returned LoadError slice and the remaining packages are
+// still analyzed. The error return is reserved for failures of the load
+// itself (go list, output decoding).
+func Load(dir string, patterns []string) ([]*Package, []LoadError, error) {
 	args := append([]string{"list", "-json", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -46,7 +64,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+		return nil, nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.Bytes())
 	}
 
 	fset := token.NewFileSet()
@@ -57,22 +75,39 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	imp := importer.ForCompiler(fset, "source", nil)
 
 	var pkgs []*Package
+	var loadErrs []LoadError
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for dec.More() {
 		var lp listPackage
 		if err := dec.Decode(&lp); err != nil {
-			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+			return nil, nil, fmt.Errorf("analysis: decoding go list output: %v", err)
 		}
 		if len(lp.GoFiles) == 0 {
 			continue
 		}
 		p, err := check(fset, imp, lp)
 		if err != nil {
-			return nil, err
+			loadErrs = append(loadErrs, LoadError{ImportPath: lp.ImportPath, Err: err})
+			continue
 		}
 		pkgs = append(pkgs, p)
 	}
-	return pkgs, nil
+	return pkgs, loadErrs, nil
+}
+
+// ExitCode maps a run's outcome to generic-lint's exit-status contract:
+// 2 when loading failed (including a load that produced no packages at
+// all), 1 when findings were reported, 0 when the tree is clean. Load
+// failures outrank findings: a partial analysis must never read as a
+// merely-dirty tree.
+func ExitCode(pkgs, findings, loadErrs int) int {
+	switch {
+	case loadErrs > 0 || pkgs == 0:
+		return 2
+	case findings > 0:
+		return 1
+	}
+	return 0
 }
 
 // check parses and type-checks one listed package.

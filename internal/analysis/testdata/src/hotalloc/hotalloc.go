@@ -1,0 +1,116 @@
+// Package hotalloc seeds every violation class the generic/hotalloc
+// analyzer must flag inside //generic:hotpath functions, alongside the
+// sanctioned patterns it must stay silent on.
+package hotalloc
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// enc is a stand-in hot-path worker with reusable scratch.
+type enc struct {
+	scratch []float64
+	count   atomic.Int64
+	sink    any
+}
+
+// Encode is the canonical clean hot function: guards that end in panic,
+// scratch reuse, sanctioned stdlib math, and a small inlinable helper.
+//
+//generic:hotpath
+func (e *enc) Encode(x []float64) float64 {
+	if len(x) != len(e.scratch) {
+		panic(fmt.Sprintf("hotalloc: got %d features, want %d", len(x), len(e.scratch)))
+	}
+	var s float64
+	for i, v := range x {
+		e.scratch[i] = v
+		s += math.Abs(v)
+	}
+	e.count.Add(1)
+	return s + tiny(s)
+}
+
+// tiny is small enough to inline, so hot callers may use it unannotated.
+func tiny(v float64) float64 { return v * 0.5 }
+
+// big is too large to inline and not annotated; hot callers must not call it.
+func big(v float64) float64 {
+	for i := 0; i < 8; i++ {
+		v += float64(i)
+		v *= 1.0001
+		v -= 0.5
+		v /= 1.0002
+	}
+	return v
+}
+
+//generic:hotpath
+func allocates(e *enc, x []float64, s string) float64 {
+	defer e.count.Add(1)                                                                                             // want generic/hotalloc
+	buf := make([]float64, len(x))                                                                                   // want generic/hotalloc
+	extra := []int{1, 2, 3}                                                                                          // want generic/hotalloc
+	m := map[string]int{}                                                                                            // want generic/hotalloc
+	p := new(enc)                                                                                                    // want generic/hotalloc
+	q := &enc{}                                                                                                      // want generic/hotalloc
+	f := func() float64 { return 1 }                                                                                 // want generic/hotalloc
+	buf = append(buf, 1)                                                                                             // want generic/hotalloc
+	b := []byte(s)                                                                                                   // want generic/hotalloc
+	s2 := string(b)                                                                                                  // want generic/hotalloc
+	e.sink = x[0]                                                                                                    // no finding: assignment boxing is the compiler's view (-escapes)
+	fmt.Fprintln(nil, s2)                                                                                            // want generic/hotalloc generic/hotalloc
+	return big(x[0]) + f() + float64(m[s]) + float64(len(extra)) + float64(p.count.Load()) + float64(q.count.Load()) // want generic/hotalloc
+}
+
+//generic:hotpath
+func boxing(e *enc) {
+	box(e.count.Load()) // want generic/hotalloc
+	box(e.sink)         // no finding: already an interface
+	box(nil)            // no finding: untyped nil
+}
+
+// box is inlinable, so the call itself is fine — the boxed argument is not.
+func box(v any) { _ = v }
+
+// lazyInit shows the sanctioned amortized patterns: make behind nil/len/cap
+// guards and append onto an explicitly-capacity'd local.
+//
+//generic:hotpath
+func lazyInit(e *enc, n int) {
+	if e.scratch == nil {
+		e.scratch = make([]float64, n)
+	}
+	if cap(e.scratch) < n {
+		e.scratch = make([]float64, n)
+	}
+	out := make([]float64, 0, n) // want generic/hotalloc
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i)) // no finding: out has preallocated capacity
+	}
+	e.scratch = out
+}
+
+// suppressed proves //lint:ignore generic/hotalloc silences a finding.
+//
+//generic:hotpath
+func suppressed(n int) []float64 {
+	//lint:ignore generic/hotalloc fixture: result buffer is the function's output
+	out := make([]float64, n)
+	return out
+}
+
+// cold is not annotated: nothing below may be reported.
+func cold(n int) []float64 {
+	defer func() {}()
+	return make([]float64, n)
+}
+
+// optedOut would be hot but for the coldpath directive.
+//
+//generic:coldpath
+//generic:hotpath
+func optedOut(n int) []float64 {
+	return make([]float64, n)
+}

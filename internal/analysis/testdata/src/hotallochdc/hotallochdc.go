@@ -1,0 +1,81 @@
+// Package hotallochdc mirrors internal/hdc's shape to exercise hotalloc's
+// default-hot rule: exported kernels taking a hypervector parameter are hot
+// with no annotation, constructors and receiver-only methods are not, and
+// //generic:coldpath opts out. Loaded under example.com/m/internal/hdc by
+// the test; the same fixture under another path must stay silent.
+package hotallochdc
+
+import "fmt"
+
+// Vec and BitVec mirror the real hypervector types.
+type Vec []int32
+
+type BitVec struct {
+	d     int
+	words []uint64
+}
+
+// NewBadVec allocates freely: New* names are exempt from the default-hot
+// rule even with a vector parameter.
+func NewBadVec(o Vec) Vec {
+	c := make(Vec, len(o))
+	copy(c, o)
+	return c
+}
+
+// AddInto is default-hot (exported, Vec parameter) and clean.
+func (v Vec) AddInto(o Vec) {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("hdc: AddInto %d vs %d", len(v), len(o)))
+	}
+	for i, x := range o {
+		v[i] += x
+	}
+}
+
+// Scaled is default-hot and allocates its result per call.
+func (v Vec) Scaled(o Vec, k int32) Vec {
+	out := make(Vec, len(v)) // want generic/hotalloc
+	for i, x := range o {
+		out[i] = x * k
+	}
+	return out
+}
+
+// Grow is default-hot; the plane append is the sanctioned suppression site.
+func (b *BitVec) Grow(o *BitVec) {
+	if len(b.words) < len(o.words) {
+		//lint:ignore generic/hotalloc fixture: amortized growth mirrors Acc.Add
+		b.words = append(b.words, make([]uint64, len(o.words)-len(b.words))...)
+	}
+}
+
+// Shrink is default-hot; the bare append must be flagged.
+func (b *BitVec) Shrink(o *BitVec) {
+	b.words = append(b.words, o.words...) // want generic/hotalloc
+}
+
+// Reverse is default-hot and clean under hotalloc; the directive below
+// acknowledges a compiler-reported escape for the -escapes reconciliation
+// tests.
+func (v Vec) Reverse(o Vec) {
+	//lint:ignore generic/escapes fixture: acknowledged compiler escape
+	for i, x := range o {
+		v[len(v)-1-i] = x
+	}
+}
+
+// Describe is receiver-only (no vector parameter): not default-hot, free to
+// allocate.
+func (v Vec) Describe() string {
+	return fmt.Sprintf("vec[%d]", len(v))
+}
+
+// Materialize opts out of the default-hot rule explicitly.
+//
+//generic:coldpath
+func (v Vec) Materialize(o Vec) Vec {
+	out := make(Vec, len(o))
+	copy(out, o)
+	return out
+}

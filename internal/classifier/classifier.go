@@ -136,6 +136,8 @@ func (m *Model) SetClass(c int, v hdc.Vec) {
 // AddEncoded bundles an encoded hypervector into class c (training
 // initialization, Fig. 1a) and refreshes that class's norms, in one fused
 // pass over the class vector.
+//
+//generic:hotpath
 func (m *Model) AddEncoded(h hdc.Vec, c int) {
 	m.norm2[c] = m.classes[c].AddSatNorms(h, m.bw, SubNormGranularity, m.subNorm2[c])
 }
@@ -145,12 +147,16 @@ func (m *Model) AddEncoded(h hdc.Vec, c int) {
 // class is updated by one fused accumulate-saturate-renorm sweep instead of
 // the historical Sub/Add + Saturate + norm-recompute sequence (six full
 // class-vector passes); results are bit-identical.
+//
+//generic:hotpath
 func (m *Model) Update(h hdc.Vec, correct, wrong int) {
 	m.norm2[wrong] = m.classes[wrong].SubSatNorms(h, m.bw, SubNormGranularity, m.subNorm2[wrong])
 	m.norm2[correct] = m.classes[correct].AddSatNorms(h, m.bw, SubNormGranularity, m.subNorm2[correct])
 }
 
 // refreshNorms recomputes norm2 and the sub-norm ladder for class c.
+//
+//generic:hotpath
 func (m *Model) refreshNorms(c int) {
 	v := m.classes[c]
 	var acc int64
@@ -175,6 +181,8 @@ func (m *Model) RefreshAllNorms() {
 
 // Predict returns the class with the highest modified-cosine score for the
 // encoded query h, and that score.
+//
+//generic:hotpath
 func (m *Model) Predict(h hdc.Vec) (class int, score float64) {
 	return m.PredictDims(h, m.d, true)
 }
@@ -184,6 +192,8 @@ func (m *Model) Predict(h hdc.Vec) (class int, score float64) {
 // reduction. When updatedNorms is true the per-chunk sub-norms are used
 // (the paper's fix); when false the full-model norms are used (the
 // "Constant" curves of Fig. 5, which lose up to 20% accuracy).
+//
+//generic:hotpath
 func (m *Model) PredictDims(h hdc.Vec, dims int, updatedNorms bool) (class int, score float64) {
 	start := telemetry.Now()
 	if dims > m.d {
@@ -312,6 +322,8 @@ func (m *Model) InjectBitErrors(ber float64, r *rng.Rand) int {
 // made before any update and whether an update occurred. This is the
 // streaming path of the paper's IoT-gateway scenario: the model keeps
 // improving from labelled feedback without a batch retraining pass.
+//
+//generic:hotpath
 func (m *Model) Adapt(h hdc.Vec, label int) (pred int, updated bool) {
 	start := telemetry.Now()
 	pred, _ = m.Predict(h)

@@ -162,11 +162,12 @@ type rpEncoder struct {
 	cfg  Config
 	d    int
 	rows [][]float64 // rows[m][i] ∈ {−1,+1}, one row per feature
+	acc  []float64   // scratch: projection accumulator, reused across calls
 }
 
 func newRP(cfg Config) *rpEncoder {
 	r := rng.New(cfg.Seed)
-	e := &rpEncoder{cfg: cfg, d: cfg.D, rows: make([][]float64, cfg.Features)}
+	e := &rpEncoder{cfg: cfg, d: cfg.D, rows: make([][]float64, cfg.Features), acc: make([]float64, cfg.D)}
 	for m := range e.rows {
 		row := make([]float64, cfg.D)
 		for i := 0; i < cfg.D; i += hdc.WordBits {
@@ -188,10 +189,14 @@ func (e *rpEncoder) D() int         { return e.d }
 func (e *rpEncoder) Kind() Kind     { return RP }
 func (e *rpEncoder) Config() Config { return e.cfg }
 
+//generic:hotpath
 func (e *rpEncoder) Encode(x []float64, out hdc.Vec) {
 	start := telemetry.Now()
 	checkEncodeArgs(len(e.rows), e.d, x, out)
-	acc := make([]float64, e.d)
+	acc := e.acc
+	for i := range acc {
+		acc[i] = 0
+	}
 	for m, v := range x {
 		row := e.rows[m]
 		if v == 0 {
@@ -238,6 +243,7 @@ func (e *levelIDEncoder) D() int         { return e.cfg.D }
 func (e *levelIDEncoder) Kind() Kind     { return LevelID }
 func (e *levelIDEncoder) Config() Config { return e.cfg }
 
+//generic:hotpath
 func (e *levelIDEncoder) Encode(x []float64, out hdc.Vec) {
 	start := telemetry.Now()
 	checkEncodeArgs(len(e.ids), e.cfg.D, x, out)
@@ -275,6 +281,7 @@ func (e *permuteEncoder) D() int         { return e.cfg.D }
 func (e *permuteEncoder) Kind() Kind     { return Permute }
 func (e *permuteEncoder) Config() Config { return e.cfg }
 
+//generic:hotpath
 func (e *permuteEncoder) Encode(x []float64, out hdc.Vec) {
 	start := telemetry.Now()
 	checkEncodeArgs(e.cfg.Features, e.cfg.D, x, out)
@@ -306,6 +313,7 @@ type windowedEncoder struct {
 	quant     *hdc.LevelTable
 	win       *hdc.BitVec
 	acc       *hdc.Acc
+	bins      []int // scratch: per-feature quantized levels, reused across calls
 }
 
 func newWindowed(cfg Config, useID, generic bool) *windowedEncoder {
@@ -315,6 +323,7 @@ func newWindowed(cfg Config, useID, generic bool) *windowedEncoder {
 		useID:   useID,
 		win:     hdc.NewBitVec(cfg.D),
 		acc:     hdc.NewAcc(cfg.D),
+		bins:    make([]int, cfg.Features),
 	}
 	e.Regenerate()
 	return e
@@ -337,12 +346,13 @@ func (e *windowedEncoder) Kind() Kind {
 	return Ngram
 }
 
+//generic:hotpath
 func (e *windowedEncoder) Encode(x []float64, out hdc.Vec) {
 	start := telemetry.Now()
 	checkEncodeArgs(e.cfg.Features, e.cfg.D, x, out)
 	e.acc.Reset()
 	n := e.cfg.N
-	bins := make([]int, len(x))
+	bins := e.bins
 	for m, v := range x {
 		bins[m] = e.quant.Quantize(v, e.cfg.Lo, e.cfg.Hi)
 	}
@@ -360,6 +370,7 @@ func (e *windowedEncoder) Encode(x []float64, out hdc.Vec) {
 	telemetry.EncodeNS.ObserveSince(start)
 }
 
+//generic:hotpath
 func checkEncodeArgs(features, d int, x []float64, out hdc.Vec) {
 	if len(x) != features {
 		panic(fmt.Sprintf("encoding: input has %d features, encoder expects %d", len(x), features))

@@ -156,6 +156,7 @@ func (e *windowedEncoder) CloneMaterial() Encoder {
 		quant:   e.quant.Clone(),
 		win:     hdc.NewBitVec(e.cfg.D),
 		acc:     hdc.NewAcc(e.cfg.D),
+		bins:    make([]int, e.cfg.Features),
 	}
 	if e.idGen != nil {
 		c.idGen = e.idGen.Clone()
@@ -168,7 +169,7 @@ func (e *windowedEncoder) CloneMaterial() Encoder {
 
 // CloneMaterial shares the projection rows, which are immutable after
 // construction (RP has no Fig. 4 memory and is not Faultable), and gives the
-// clone no mutable scratch to conflict over.
+// clone its own accumulator scratch so concurrent encodes never conflict.
 func (e *rpEncoder) CloneMaterial() Encoder {
-	return &rpEncoder{cfg: e.cfg, d: e.d, rows: e.rows}
+	return &rpEncoder{cfg: e.cfg, d: e.d, rows: e.rows, acc: make([]float64, e.d)}
 }

@@ -30,6 +30,8 @@ func (a *Acc) D() int { return a.d }
 func (a *Acc) Count() int { return a.n }
 
 // Reset empties the accumulator for reuse without reallocating planes.
+//
+//generic:hotpath
 func (a *Acc) Reset() {
 	a.n = 0
 	for _, p := range a.planes {
@@ -46,12 +48,14 @@ func (a *Acc) Add(v *BitVec) {
 	nw := a.d / WordBits
 	// Ripple-carry add of the 1-bit vector into the bit-sliced counters.
 	if a.carry == nil {
+		//lint:ignore generic/escapes one-time carry-buffer growth behind the nil guard above
 		a.carry = make([]uint64, nw)
 	}
 	carry := a.carry
 	copy(carry, v.words)
 	for j := 0; ; j++ {
 		if j == len(a.planes) {
+			//lint:ignore generic/hotalloc,generic/escapes plane growth is amortized: ceil(log2(n)) appends over an accumulator's lifetime, not per call
 			a.planes = append(a.planes, make([]uint64, nw))
 		}
 		plane := a.planes[j]
@@ -85,6 +89,8 @@ func (a *Acc) CountAt(i int) int {
 }
 
 // Counts writes the per-dimension counts into dst, which must have length D.
+//
+//generic:hotpath
 func (a *Acc) Counts(dst []int32) {
 	mustSameDim("Acc.Counts", len(dst), a.d)
 	for i := range dst {
@@ -102,6 +108,8 @@ func (a *Acc) Counts(dst []int32) {
 }
 
 // Bipolar writes the bipolar bundle 2·count − n into dst (length D).
+//
+//generic:hotpath
 func (a *Acc) Bipolar(dst []int32) {
 	a.Counts(dst)
 	n := int32(a.n)

@@ -15,6 +15,8 @@ import "fmt"
 // fusedCheck validates the shared preconditions of the fused kernels and
 // returns the saturation bounds for bw, from the same source (satBounds)
 // every other clamping kernel uses.
+//
+//generic:hotpath
 func fusedCheck(op string, v, o Vec, bw, gran int, sub []int64) (lo, hi int32) {
 	mustSameLen(op, v, o)
 	if gran <= 0 || len(v)%gran != 0 {

@@ -100,6 +100,8 @@ func (t *Tracer) Reset() {
 // nextID derives the next deterministic span ID: the atomic sequence number
 // keyed into a SplitMix64 stream by the tracer seed. IDs are nonzero (0
 // means "no parent" in Record).
+//
+//generic:hotpath
 func (t *Tracer) nextID() uint64 {
 	z := t.seed ^ t.seq.Add(1)*0x9e3779b97f4a7c15
 	id := rng.SplitMix64(&z)
@@ -111,19 +113,25 @@ func (t *Tracer) nextID() uint64 {
 
 // Begin opens a root span, or returns nil immediately when the tracer is
 // disabled (one atomic load — the entire disabled-path cost).
+//
+//generic:hotpath
 func (t *Tracer) Begin(name string) *Span {
 	if !t.enabled.Load() {
 		return nil
 	}
+	//lint:ignore generic/hotalloc,generic/escapes span allocation happens only when tracing is enabled; the disabled path above is the hot one and costs one atomic load
 	return &Span{tracer: t, name: name, id: t.nextID(), start: telemetry.Now()}
 }
 
 // Child opens a span nested under s. On a nil span (disabled tracer) it
 // returns nil.
+//
+//generic:hotpath
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
+	//lint:ignore generic/hotalloc,generic/escapes child spans exist only when tracing is enabled; disabled-path calls return nil above
 	return &Span{tracer: s.tracer, name: name, id: s.tracer.nextID(), parent: s.id, start: telemetry.Now()}
 }
 
@@ -158,16 +166,20 @@ func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span
 // End closes the span and stores its record in the ring buffer. No-op on a
 // nil span. A span must be ended at most once, on the goroutine that is
 // currently running it.
+//
+//generic:hotpath
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
+	//lint:ignore generic/hotalloc,generic/escapes the record is the span's output and exists only when tracing is enabled (End on a nil span returned above)
 	rec := &Record{Name: s.name, ID: s.id, Parent: s.parent,
 		Start: s.start, Dur: telemetry.Now() - s.start}
 	t := s.tracer
 	i := t.cursor.Add(1) - 1
 	t.slots[i%uint64(len(t.slots))].Store(rec)
 	if s.prevCtx != nil {
+		//lint:ignore generic/hotalloc label restore runs only for Start-created (request-scoped) spans, never on the Begin/Child fast path
 		pprof.SetGoroutineLabels(s.prevCtx)
 	}
 }
@@ -219,6 +231,8 @@ func Disable()      { Default.Disable() }
 func Enabled() bool { return Default.Enabled() }
 
 // Begin opens a root span on the default tracer (nil when disabled).
+//
+//generic:hotpath
 func Begin(name string) *Span { return Default.Begin(name) }
 
 // Start opens a request-scoped span on the default tracer.

@@ -38,12 +38,16 @@ var epoch = time.Now()
 
 // Now returns the telemetry clock in nanoseconds: monotonic, comparable only
 // to other Now values. Pair with Histogram.ObserveSince.
+//
+//generic:hotpath
 func Now() int64 { return int64(time.Since(epoch)) }
 
 // A Counter is a monotonically increasing atomic counter.
 type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by n; Inc by one.
+//
+//generic:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 func (c *Counter) Inc()        { c.v.Add(1) }
 
@@ -60,6 +64,8 @@ func (c *Counter) reset()                     { c.v.Store(0) }
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores the gauge value; Add moves it by n.
+//
+//generic:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
@@ -91,6 +97,8 @@ type Histogram struct {
 
 // bucketIndex maps a duration to its bucket: the smallest power-of-two upper
 // bound that holds it, saturating into the overflow bucket.
+//
+//generic:hotpath
 func bucketIndex(ns int64) int {
 	if ns <= 1<<histMinShift {
 		return 0
@@ -103,6 +111,8 @@ func bucketIndex(ns int64) int {
 }
 
 // Observe records one duration in nanoseconds (negative clamps to zero).
+//
+//generic:hotpath
 func (h *Histogram) Observe(ns int64) {
 	if ns < 0 {
 		ns = 0
@@ -113,6 +123,8 @@ func (h *Histogram) Observe(ns int64) {
 }
 
 // ObserveSince records the time elapsed since start (a Now value).
+//
+//generic:hotpath
 func (h *Histogram) ObserveSince(start int64) { h.Observe(Now() - start) }
 
 // Count returns the number of observations; SumNanos their total duration.
