@@ -1,0 +1,228 @@
+// Command generic-load is a minimal load generator for generic-serve — the
+// client half of the serving soak tests (ROADMAP 3(d)). It drives POST
+// /predict (and optionally /adapt) at a configurable concurrency for a
+// fixed duration, with every worker timing each request, then reports
+// throughput, a status breakdown that separates shed load (429) and
+// deadline expiry (504) from real server errors, and p50/p95/p99 latencies
+// from the raw response timings.
+//
+//	generic-load -addr http://127.0.0.1:8080 -features 128 -classes 2 \
+//	    -duration 20s -concurrency 8 -adapt-frac 0.2 -json report.json
+//
+// The exit status is 0 when the run completed and (if -max-5xx >= 0) the
+// non-shed server-error count stayed within bounds — which is exactly the
+// CI chaos-soak contract: under torment the daemon may shed and may time
+// out the occasional request, but it must not throw real 5xx errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "base URL of the generic-serve daemon")
+		features    = flag.Int("features", 64, "feature count per generated sample (must match the served model)")
+		classes     = flag.Int("classes", 2, "label range for generated /adapt requests")
+		concurrency = flag.Int("concurrency", 8, "concurrent client workers")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		adaptFrac   = flag.Float64("adapt-frac", 0, "fraction of requests that are /adapt (rest are /predict)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		seed        = flag.Uint64("seed", 1, "sample-generation seed")
+		jsonOut     = flag.String("json", "", "also write the report as JSON to this file ('-' for stdout)")
+		max5xx      = flag.Int("max-5xx", -1, "exit nonzero if non-shed 5xx responses exceed this (-1 disables)")
+	)
+	flag.Parse()
+
+	rep := runLoad(loadConfig{
+		Addr: *addr, Features: *features, Classes: *classes,
+		Concurrency: *concurrency, Duration: *duration, AdaptFrac: *adaptFrac,
+		Timeout: *timeout, Seed: *seed,
+	})
+	rep.print(os.Stdout)
+	if *jsonOut != "" {
+		if err := rep.writeJSON(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "generic-load:", err)
+			os.Exit(1)
+		}
+	}
+	if *max5xx >= 0 && rep.ServerErrors > *max5xx {
+		fmt.Fprintf(os.Stderr, "generic-load: %d non-shed 5xx responses exceed -max-5xx %d\n",
+			rep.ServerErrors, *max5xx)
+		os.Exit(1)
+	}
+}
+
+type loadConfig struct {
+	Addr        string
+	Features    int
+	Classes     int
+	Concurrency int
+	Duration    time.Duration
+	AdaptFrac   float64
+	Timeout     time.Duration
+	Seed        uint64
+}
+
+// loadReport aggregates one run. Latency quantiles are computed from the
+// raw per-request timings (every request, not a sample), in milliseconds.
+// ServerErrors counts real 5xx failures only: 429 is deliberate shedding
+// and 504 is deliberate deadline expiry, reported separately so a chaos
+// soak can assert "degraded, not broken".
+type loadReport struct {
+	Requests     int     `json:"requests"`
+	Predicts     int     `json:"predicts"`
+	Adapts       int     `json:"adapts"`
+	OK           int     `json:"ok"`
+	Shed         int     `json:"shed"`          // 429
+	Deadline     int     `json:"deadline"`      // 504
+	ClientErrors int     `json:"client_errors"` // other 4xx
+	ServerErrors int     `json:"server_errors"` // 5xx except 504
+	Transport    int     `json:"transport_errors"`
+	DurationS    float64 `json:"duration_s"`
+	Throughput   float64 `json:"requests_per_s"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MaxMs        float64 `json:"max_ms"`
+}
+
+// workerResult is one worker's tally, merged after the run.
+type workerResult struct {
+	rep       loadReport
+	latencies []time.Duration
+}
+
+// runLoad drives the daemon and aggregates the report.
+func runLoad(cfg loadConfig) *loadReport {
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	deadline := time.Now().Add(cfg.Duration)
+	results := make([]workerResult, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wkr := 0; wkr < cfg.Concurrency; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			r := rng.New(cfg.Seed + uint64(wkr)*0x9e3779b97f4a7c15)
+			res := &results[wkr]
+			x := make([]float64, cfg.Features)
+			for time.Now().Before(deadline) {
+				for i := range x {
+					x[i] = r.Float64()
+				}
+				var (
+					url  string
+					body any
+				)
+				if r.Float64() < cfg.AdaptFrac {
+					url = cfg.Addr + "/adapt"
+					body = map[string]any{"x": x, "label": int(r.Uint64() % uint64(max(cfg.Classes, 1)))}
+					res.rep.Adapts++
+				} else {
+					url = cfg.Addr + "/predict"
+					body = map[string]any{"x": x}
+					res.rep.Predicts++
+				}
+				raw, err := json.Marshal(body)
+				if err != nil {
+					res.rep.Transport++
+					continue
+				}
+				res.rep.Requests++
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+				lat := time.Since(t0)
+				if err != nil {
+					res.rep.Transport++
+					continue
+				}
+				resp.Body.Close()
+				res.latencies = append(res.latencies, lat)
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					res.rep.Shed++
+				case resp.StatusCode == http.StatusGatewayTimeout:
+					res.rep.Deadline++
+				case resp.StatusCode >= 500:
+					res.rep.ServerErrors++
+				case resp.StatusCode >= 400:
+					res.rep.ClientErrors++
+				default:
+					res.rep.OK++
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := &loadReport{DurationS: elapsed.Seconds()}
+	var all []time.Duration
+	for i := range results {
+		r := &results[i].rep
+		total.Requests += r.Requests
+		total.Predicts += r.Predicts
+		total.Adapts += r.Adapts
+		total.OK += r.OK
+		total.Shed += r.Shed
+		total.Deadline += r.Deadline
+		total.ClientErrors += r.ClientErrors
+		total.ServerErrors += r.ServerErrors
+		total.Transport += r.Transport
+		all = append(all, results[i].latencies...)
+	}
+	if elapsed > 0 {
+		total.Throughput = float64(total.Requests) / elapsed.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	total.P50Ms = quantileMs(all, 0.50)
+	total.P95Ms = quantileMs(all, 0.95)
+	total.P99Ms = quantileMs(all, 0.99)
+	if n := len(all); n > 0 {
+		total.MaxMs = float64(all[n-1]) / float64(time.Millisecond)
+	}
+	return total
+}
+
+// quantileMs reads the q-th quantile (nearest-rank) from sorted timings.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func (r *loadReport) print(w *os.File) {
+	fmt.Fprintf(w, "generic-load: %d requests in %.1fs (%.0f req/s): %d ok, %d shed, %d deadline, %d client-err, %d server-err, %d transport-err\n",
+		r.Requests, r.DurationS, r.Throughput, r.OK, r.Shed, r.Deadline, r.ClientErrors, r.ServerErrors, r.Transport)
+	fmt.Fprintf(w, "generic-load: latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs)
+}
+
+func (r *loadReport) writeJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

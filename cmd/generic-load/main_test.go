@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunLoadBuckets drives runLoad against a scripted server and checks
+// every response class lands in its bucket: 429 → shed, 504 → deadline,
+// 5xx → server errors, 4xx → client errors, 200 → ok — and that the
+// quantiles come out monotone and positive.
+func TestRunLoadBuckets(t *testing.T) {
+	var n atomic.Int64
+	var predicts, adapts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := io.ReadAll(r.Body); err != nil {
+			t.Error(err)
+		}
+		switch r.URL.Path {
+		case "/predict":
+			predicts.Add(1)
+		case "/adapt":
+			adapts.Add(1)
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		// Deterministic status rotation across requests.
+		switch n.Add(1) % 5 {
+		case 0:
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 1:
+			w.WriteHeader(http.StatusGatewayTimeout)
+		case 2:
+			w.WriteHeader(http.StatusInternalServerError)
+		case 3:
+			w.WriteHeader(http.StatusBadRequest)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer ts.Close()
+
+	rep := runLoad(loadConfig{
+		Addr: ts.URL, Features: 4, Classes: 2,
+		Concurrency: 3, Duration: 300 * time.Millisecond,
+		AdaptFrac: 0.5, Timeout: 5 * time.Second, Seed: 1,
+	})
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if got := rep.OK + rep.Shed + rep.Deadline + rep.ClientErrors + rep.ServerErrors; got != rep.Requests {
+		t.Errorf("buckets sum to %d, want %d", got, rep.Requests)
+	}
+	for name, v := range map[string]int{
+		"ok": rep.OK, "shed": rep.Shed, "deadline": rep.Deadline,
+		"client": rep.ClientErrors, "server": rep.ServerErrors,
+	} {
+		if v == 0 {
+			t.Errorf("bucket %s empty after status rotation", name)
+		}
+	}
+	if rep.Transport != 0 {
+		t.Errorf("transport errors = %d, want 0", rep.Transport)
+	}
+	if rep.Predicts == 0 || rep.Adapts == 0 {
+		t.Errorf("predicts=%d adapts=%d, want both nonzero at adapt-frac 0.5", rep.Predicts, rep.Adapts)
+	}
+	if rep.Predicts != int(predicts.Load()) || rep.Adapts != int(adapts.Load()) {
+		t.Errorf("client counted %d/%d, server saw %d/%d",
+			rep.Predicts, rep.Adapts, predicts.Load(), adapts.Load())
+	}
+	if rep.P50Ms <= 0 || rep.P50Ms > rep.P95Ms || rep.P95Ms > rep.P99Ms || rep.P99Ms > rep.MaxMs {
+		t.Errorf("quantiles not monotone positive: p50=%v p95=%v p99=%v max=%v",
+			rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs)
+	}
+	if rep.Throughput <= 0 {
+		t.Errorf("throughput = %v", rep.Throughput)
+	}
+
+	// The JSON report round-trips and carries the CI-greppable key.
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := rep.writeJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back loadReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *rep {
+		t.Errorf("JSON round-trip mismatch:\n%+v\n%+v", back, *rep)
+	}
+}
+
+// TestQuantileMs pins the nearest-rank quantile read.
+func TestQuantileMs(t *testing.T) {
+	if got := quantileMs(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	sorted := []time.Duration{time.Millisecond, 2 * time.Millisecond, 10 * time.Millisecond}
+	if got := quantileMs(sorted, 0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := quantileMs(sorted, 1); got != 10 {
+		t.Errorf("q1 = %v, want 10", got)
+	}
+	if got := quantileMs(sorted, 0.5); got != 2 {
+		t.Errorf("q0.5 = %v, want 2", got)
+	}
+}

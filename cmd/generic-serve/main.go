@@ -1,17 +1,21 @@
 // Command generic-serve is an HTTP inference daemon over a trained GENERIC
 // pipeline — the serving counterpart of cmd/generic-train. It loads a model
 // file written by Pipeline.SaveFile (or self-trains on a named synthetic
-// benchmark for smoke testing) and exposes:
+// benchmark, or resumes from a -state-dir checkpoint) and exposes:
 //
 //	POST /predict        {"x":[...]} or {"xs":[[...],...]} → predicted label(s)
-//	POST /adapt          {"x":[...],"label":n} → online-learning step
+//	POST /adapt          {"x":[...],"label":n} → durable online-learning step
 //	GET  /metrics        telemetry registry snapshot (expvar-style JSON)
-//	GET  /healthz        200 ok / 503 degraded, from the fault controller
+//	GET  /healthz        liveness: 200 ok/degraded, 503 failing
+//	GET  /readyz         readiness: 503 while draining or failing
 //	GET  /debug/pprof/*  runtime profiling
 //
-// Prediction is served concurrently (the pipeline's predict path is
-// goroutine-safe); adapt steps take an exclusive lock. SIGINT/SIGTERM drain
-// in-flight requests before exit.
+// The serving core (internal/serve) keeps the model behind an immutable
+// atomic snapshot: predicts are lock-free, adapts clone-modify-publish and
+// are logged to a crash-safe WAL before acknowledgment, a background scrub
+// loop CRC-sweeps and self-repairs the model, and per-endpoint admission
+// gates shed overload with 429 instead of queueing into collapse.
+// SIGINT/SIGTERM drain in-flight requests, checkpoint, and exit.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"time"
 
 	generic "github.com/edge-hdc/generic"
+	"github.com/edge-hdc/generic/internal/serve"
 )
 
 func main() {
@@ -37,20 +42,108 @@ func main() {
 		d       = flag.Int("d", 2048, "hypervector dimensionality for -dataset self-training")
 		seed    = flag.Uint64("seed", 1, "hypervector/dataset seed for -dataset self-training")
 		workers = flag.Int("workers", 0, "fan-out for batch /predict requests (<= 0 means GOMAXPROCS)")
+
+		// Durability.
+		stateDir  = flag.String("state-dir", "", "durable state directory (adapt WAL + checkpoints); empty serves in memory only")
+		walSync   = flag.String("wal-sync", "always", "WAL fsync policy: always (durable past power loss) or none (page cache)")
+		ckptEvery = flag.Int("checkpoint-every", 1024, "checkpoint and truncate the WAL after this many adapt records (0: only at shutdown)")
+
+		// Admission control and deadlines.
+		deadline   = flag.Duration("deadline", 10*time.Second, "per-request deadline (0 disables)")
+		maxPredict = flag.Int("max-inflight-predict", 256, "concurrent /predict bound before shedding with 429 (0: unlimited)")
+		maxAdapt   = flag.Int("max-inflight-adapt", 64, "concurrent /adapt bound before shedding with 429 (0: unlimited)")
+
+		// Self-healing and chaos.
+		scrubEvery   = flag.Duration("scrub-every", time.Minute, "background CRC-sweep + self-repair interval (0 disables)")
+		chaos        = flag.Bool("chaos", false, "torment mode: periodically inject faults and handler latency to exercise degradation")
+		chaosSeed    = flag.Uint64("chaos-seed", 1, "chaos torment stream seed")
+		chaosEvery   = flag.Duration("chaos-every", 2*time.Second, "interval between chaos fault injections")
+		chaosLatency = flag.Duration("chaos-latency", 50*time.Millisecond, "max chaos-injected handler latency")
 	)
 	flag.Parse()
 
-	p, err := buildPipeline(*model, *dataset, *epochs, *d, *seed, *workers)
-	if err != nil {
+	if err := run(runConfig{
+		addr: *addr, model: *model, dataset: *dataset, epochs: *epochs, d: *d, seed: *seed,
+		stateDir: *stateDir, walSync: *walSync, ckptEvery: *ckptEvery,
+		scrubEvery: *scrubEvery,
+		chaos:      *chaos, chaosSeed: *chaosSeed, chaosEvery: *chaosEvery, chaosLatency: *chaosLatency,
+		server: serverConfig{
+			workers:    *workers,
+			deadline:   *deadline,
+			maxPredict: *maxPredict,
+			maxAdapt:   *maxAdapt,
+		},
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "generic-serve:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("generic-serve: pipeline ready (D=%d, %d classes, %d-bit)\n",
-		p.Model().D(), p.Model().Classes(), p.Model().BW())
+}
+
+type runConfig struct {
+	addr              string
+	model, dataset    string
+	epochs, d         int
+	seed              uint64
+	stateDir, walSync string
+	ckptEvery         int
+	scrubEvery        time.Duration
+	chaos             bool
+	chaosSeed         uint64
+	chaosEvery        time.Duration
+	chaosLatency      time.Duration
+	server            serverConfig
+}
+
+func run(cfg runConfig) error {
+	policy, err := serve.ParseSyncPolicy(cfg.walSync)
+	if err != nil {
+		return err
+	}
+
+	// A checkpoint in -state-dir is the durable truth after a restart and
+	// makes -model/-dataset optional; without one, exactly one source is
+	// required, as before.
+	var p *generic.Pipeline
+	if serve.HasCheckpoint(cfg.stateDir) {
+		if cfg.model != "" || cfg.dataset != "" {
+			fmt.Printf("generic-serve: resuming from checkpoint in %s (-model/-dataset ignored)\n", cfg.stateDir)
+		}
+	} else {
+		p, err = buildPipeline(cfg.model, cfg.dataset, cfg.epochs, cfg.d, cfg.seed, cfg.server.workers)
+		if err != nil {
+			return err
+		}
+	}
+
+	core, err := serve.Open(p, serve.Options{
+		Dir:             cfg.stateDir,
+		Sync:            policy,
+		CheckpointEvery: cfg.ckptEvery,
+	})
+	if err != nil {
+		return err
+	}
+	if n := core.Replayed(); n > 0 {
+		fmt.Printf("generic-serve: replayed %d acknowledged adapts from the WAL\n", n)
+	}
+	snap := core.Current()
+	m := snap.Pipeline.Model()
+	fmt.Printf("generic-serve: pipeline ready (D=%d, %d classes, %d-bit, snapshot v%d, wal seq %d)\n",
+		m.D(), m.Classes(), m.BW(), snap.Version, snap.Seq)
+
+	s := newServer(core, cfg.server)
+	stopScrub := core.StartScrubLoop(cfg.scrubEvery)
+	stopChaos := func() {}
+	if cfg.chaos {
+		s.chaos = serve.NewChaos(cfg.chaosSeed, cfg.chaosLatency)
+		stopChaos = s.chaos.StartChaos(core, cfg.chaosEvery)
+		fmt.Printf("generic-serve: CHAOS MODE (seed %d, inject every %s, latency up to %s)\n",
+			cfg.chaosSeed, cfg.chaosEvery, cfg.chaosLatency)
+	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(p, *workers).routes(),
+		Addr:              cfg.addr,
+		Handler:           s.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -58,23 +151,36 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("generic-serve: listening on %s\n", *addr)
+	fmt.Printf("generic-serve: listening on %s\n", cfg.addr)
 
 	select {
 	case <-ctx.Done():
 		stop()
+		// Drain: readiness flips first so load balancers stop routing,
+		// in-flight requests finish, then the core checkpoints and closes
+		// the WAL — acknowledged state is durable before exit.
+		s.draining.Store(true)
+		stopChaos()
+		stopScrub()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "generic-serve: shutdown:", err)
-			os.Exit(1)
+			core.Close()
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := core.Close(); err != nil {
+			return fmt.Errorf("closing serving core: %w", err)
 		}
 		fmt.Println("generic-serve: drained, bye")
+		return nil
 	case err := <-errc:
+		stopChaos()
+		stopScrub()
+		core.Close()
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "generic-serve:", err)
-			os.Exit(1)
+			return err
 		}
+		return nil
 	}
 }
 
@@ -112,6 +218,6 @@ func buildPipeline(model, dataset string, epochs, d int, seed uint64, workers in
 			ds.Name, time.Since(start).Seconds(), ran)
 		return p, nil
 	default:
-		return nil, errors.New("need -model <file> or -dataset <name>")
+		return nil, errors.New("need -model <file>, -dataset <name>, or a -state-dir checkpoint")
 	}
 }

@@ -1,15 +1,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
-	"sync"
+	"sync/atomic"
+	"time"
 
 	generic "github.com/edge-hdc/generic"
 	"github.com/edge-hdc/generic/internal/perf"
+	"github.com/edge-hdc/generic/internal/serve"
 	"github.com/edge-hdc/generic/internal/telemetry"
 )
 
@@ -27,34 +30,108 @@ var (
 // memory.
 const maxBodyBytes = 32 << 20
 
-// server wraps a trained pipeline for HTTP inference. Reads (predict,
-// healthz) take the read lock — Pipeline.Predict is itself safe for
-// concurrent use — while mutations (adapt) take the write lock, mirroring
-// the library's "Fit/Adapt require exclusive access" contract.
+// errOverloaded is the shed response body; it never reaches statusFor (the
+// handlers write 429 directly) but gives clients a stable message.
+var errOverloaded = errors.New("server overloaded, retry later")
+
+// serverConfig carries the resilience knobs from flags to the handler set.
+type serverConfig struct {
+	workers    int
+	deadline   time.Duration // per-request budget; 0 disables
+	maxPredict int           // in-flight /predict bound; 0 unlimited
+	maxAdapt   int           // in-flight /adapt bound; 0 unlimited
+}
+
+// server is the HTTP layer over the serving core. Predict and health reads
+// are lock-free (one atomic snapshot load); adapts serialize inside the
+// core without ever blocking readers — there is no server-level lock at
+// all, which is the point of the snapshot architecture.
 type server struct {
-	mu       sync.RWMutex
-	pipeline *generic.Pipeline
-	workers  int
+	core        *serve.Core
+	chaos       *serve.Chaos // nil unless -chaos
+	cfg         serverConfig
+	predictGate *serve.Gate
+	adaptGate   *serve.Gate
+	draining    atomic.Bool // set during graceful shutdown; /readyz flips to 503
 }
 
-func newServer(p *generic.Pipeline, workers int) *server {
-	return &server{pipeline: p, workers: workers}
+func newServer(core *serve.Core, cfg serverConfig) *server {
+	return &server{
+		core:        core,
+		cfg:         cfg,
+		predictGate: serve.NewGate(cfg.maxPredict),
+		adaptGate:   serve.NewGate(cfg.maxAdapt),
+	}
 }
 
-// routes builds the daemon's mux. pprof handlers are registered explicitly
-// rather than through net/http/pprof's DefaultServeMux side effects.
+// routes builds the daemon's mux. Every endpoint is pinned to its one
+// method (405 + Allow otherwise); predict/adapt additionally run under the
+// per-request deadline. pprof handlers are registered explicitly rather
+// than through net/http/pprof's DefaultServeMux side effects.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", s.handlePredict)
-	mux.HandleFunc("/adapt", s.handleAdapt)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/predict", method(http.MethodPost, s.withDeadline(s.handlePredict)))
+	mux.HandleFunc("/adapt", method(http.MethodPost, s.withDeadline(s.handleAdapt)))
+	mux.HandleFunc("/metrics", method(http.MethodGet, s.handleMetrics))
+	mux.HandleFunc("/healthz", method(http.MethodGet, s.handleHealthz))
+	mux.HandleFunc("/readyz", method(http.MethodGet, s.handleReadyz))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// method restricts a handler to one HTTP method, answering anything else
+// with 405 and an Allow header.
+func method(verb string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != verb {
+			w.Header().Set("Allow", verb)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s required", verb))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// withDeadline attaches the per-request budget to the request context, so
+// slow work surfaces as 504 instead of an unbounded stall.
+func (s *server) withDeadline(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.deadline <= 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.deadline)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// shed answers an over-admission request: 429 with a Retry-After hint, the
+// load balancer's cue to back off before latency collapses.
+func shed(w http.ResponseWriter) {
+	telemetry.ServeShed.Inc()
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, errOverloaded)
+}
+
+// chaosDelay sleeps the chaos-injected handler latency, honoring the
+// request deadline: an expired budget surfaces as the context error.
+func (s *server) chaosDelay(ctx context.Context) error {
+	d := s.chaos.Latency()
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // predictRequest accepts a single sample (x) or a batch (xs) — exactly one.
@@ -92,33 +169,45 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	_, sp := perf.Start(r.Context(), "http.predict")
 	defer sp.End()
 	serveRequests.Inc()
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+	if !s.predictGate.TryAcquire() {
+		shed(w)
 		return
 	}
+	defer s.predictGate.Release()
 	var req predictRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := s.chaosDelay(r.Context()); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	// One atomic load pins this request's model state; adapts published
+	// while we score do not disturb it and we never take a lock.
+	snap := s.core.Current()
 	switch {
 	case req.X != nil && req.Xs != nil:
 		writeError(w, http.StatusBadRequest, errors.New(`provide "x" or "xs", not both`))
 	case req.X != nil:
-		s.mu.RLock()
-		label, err := s.pipeline.Predict(req.X)
-		s.mu.RUnlock()
+		label, err := snap.Pipeline.Predict(req.X)
 		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		if err := r.Context().Err(); err != nil {
 			writeError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, predictResponse{Label: &label})
 		servePredictNS.ObserveSince(start)
 	case req.Xs != nil:
-		s.mu.RLock()
-		labels, err := s.pipeline.PredictAll(req.Xs, generic.WithWorkers(s.workers))
-		s.mu.RUnlock()
+		labels, err := snap.Pipeline.PredictAll(req.Xs, generic.WithWorkers(s.cfg.workers))
 		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		if err := r.Context().Err(); err != nil {
 			writeError(w, statusFor(err), err)
 			return
 		}
@@ -134,10 +223,11 @@ func (s *server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 	_, sp := perf.Start(r.Context(), "http.adapt")
 	defer sp.End()
 	serveRequests.Inc()
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+	if !s.adaptGate.TryAcquire() {
+		shed(w)
 		return
 	}
+	defer s.adaptGate.Release()
 	var req adaptRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -147,9 +237,14 @@ func (s *server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New(`body needs "x" and "label"`))
 		return
 	}
-	s.mu.Lock()
-	pred, updated, err := s.pipeline.Adapt(req.X, req.Label)
-	s.mu.Unlock()
+	if err := s.chaosDelay(r.Context()); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	// The core WAL-logs before publishing: a 200 from here means the
+	// update is durable per the fsync policy and visible to the next
+	// predict snapshot.
+	pred, updated, err := s.core.Adapt(req.X, req.Label)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -199,49 +294,96 @@ func appendSummaries(b []byte) []byte {
 	return append(b, '}', '}')
 }
 
-// healthResponse mirrors faults.Health plus the serving verdict.
+// healthResponse mirrors the serving health machine plus the fault
+// controller's detail and the snapshot lineage.
 type healthResponse struct {
-	Status          string `json:"status"` // "ok" or "degraded"
+	Status          string `json:"status"` // "ok", "degraded", or "failing"
 	PendingFaults   int    `json:"pending_faults"`
 	MaskedLanes     []int  `json:"masked_lanes"`
 	QuarantinedRows int    `json:"quarantined_rows"`
 	InjectedBits    int    `json:"injected_bits"`
 	EffectiveDims   int    `json:"effective_dims"`
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	WALSeq          uint64 `json:"wal_seq"`
 }
 
+// handleHealthz reports liveness: 200 while the engine is answering — even
+// degraded (that is the graceful-degradation contract: damaged, repairing,
+// still serving) — and 503 only in the failing state, when durability or
+// repair is broken and a supervisor should restart or drain.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	serveRequests.Inc()
-	s.mu.RLock()
-	h, err := s.pipeline.Health()
-	s.mu.RUnlock()
+	snap := s.core.Current()
+	h, err := snap.Pipeline.Health()
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
+	state := s.core.State()
 	resp := healthResponse{
-		Status:          "ok",
+		Status:          state.String(),
 		PendingFaults:   h.PendingFaults,
 		MaskedLanes:     h.MaskedLanes,
 		QuarantinedRows: h.QuarantinedRows,
 		InjectedBits:    h.InjectedBits,
 		EffectiveDims:   h.EffectiveDims,
+		SnapshotVersion: snap.Version,
+		WALSeq:          snap.Seq,
 	}
 	code := http.StatusOK
-	if h.Degraded() {
-		resp.Status = "degraded"
+	if state == serve.StateFailing {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, resp)
 }
 
-// statusFor classifies a pipeline error: shape/label validation failures
-// are the client's fault; a pipeline that lost its model is ours.
+type readyResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleReadyz reports readiness for load balancers: 503 while draining
+// (shutdown in progress) or failing, 200 otherwise — including degraded,
+// where answers may be approximate but capacity is real. Splitting this
+// from /healthz lets an LB stop routing without a supervisor restart.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	serveRequests.Inc()
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Ready: false, Reason: "draining"})
+	case s.core.State() == serve.StateFailing:
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Ready: false, Reason: "failing"})
+	default:
+		writeJSON(w, http.StatusOK, readyResponse{Ready: true})
+	}
+}
+
+// statusFor classifies a serving error:
+//
+//   - deadline expiry → 504 (the server ran out of request budget)
+//   - client cancellation → 499 (nginx-style: the client went away)
+//   - WAL append failure → 503 (durability broken; the update was refused,
+//     not half-applied)
+//   - corrupt model / untrained pipeline → 500 (our state is wrong)
+//   - everything else (shape/label validation) → 400 (client's fault)
 func statusFor(err error) int {
-	if errors.Is(err, generic.ErrNotTrained) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		telemetry.ServeDeadlines.Inc()
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, serve.ErrWAL):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, generic.ErrNotTrained), errors.Is(err, generic.ErrCorruptModel):
 		return http.StatusInternalServerError
 	}
 	return http.StatusBadRequest
 }
+
+// statusClientClosedRequest is nginx's non-standard 499: the client closed
+// the connection before the response; there is no one left to answer.
+const statusClientClosedRequest = 499
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))

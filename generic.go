@@ -293,6 +293,34 @@ func (p *Pipeline) FitResult(X [][]float64, Y []int, opt TrainOptions) (TrainRes
 // default (perceptron) and nothing has been trained or loaded yet.
 func (p *Pipeline) Trainer() string { return p.trainer }
 
+// Clone returns an independent deep copy of the pipeline: the model, the
+// encoder's current hypervector material (bit-exact, including any injected
+// faults), and the fault controller's guard/mask state. Clone is the
+// snapshot hook of the serving layer's clone-modify-publish protocol —
+// mutate the clone, then atomically publish it — so readers of the original
+// never observe a half-applied mutation. Clone requires the same exclusive
+// access as Fit/Adapt (it reads every piece of mutable state).
+func (p *Pipeline) Clone() *Pipeline {
+	c := &Pipeline{
+		classes:     p.classes,
+		trainer:     p.trainer,
+		hasChecksum: p.hasChecksum,
+	}
+	if mc, ok := p.enc.(encoding.MaterialCloner); ok {
+		c.enc = mc.CloneMaterial()
+	} else {
+		c.enc = encoding.MustNew(p.enc.Kind(), p.enc.Config())
+	}
+	if p.model != nil {
+		c.model = p.model.Clone()
+	}
+	if p.faultCtl != nil {
+		c.faultCtl = p.faultCtl.CloneFor(c.model, c.enc)
+	}
+	c.resetStates()
+	return c
+}
+
 // validateFit checks the training set's shape against the pipeline before
 // any encoding work starts.
 func (p *Pipeline) validateFit(X [][]float64, Y []int) error {

@@ -20,7 +20,9 @@ import (
 //   - a channel receive inside a for loop — the hand-rolled variant.
 //
 // A single receive outside a loop (waiting for one completion signal) is
-// legitimate coordination and passes.
+// legitimate coordination and passes, as is a bare receive in a select
+// case (`case <-done:`, `case <-ticker.C:`): the value is discarded, so
+// nothing is merged — that is the standard cancellation/ticker loop.
 var MergeOrder = &Analyzer{
 	Name: "mergeorder",
 	Doc:  "require per-worker results to merge by worker index, not channel-arrival order",
@@ -62,6 +64,20 @@ func checkMergeOrder(pass *Pass, n ast.Node, loopDepth int) {
 			}
 			checkLoopBody(pass, n.Body, loopDepth+1)
 			return false
+		case *ast.SelectStmt:
+			for _, cl := range n.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if !isBareReceive(cc.Comm) && cc.Comm != nil {
+					checkMergeOrder(pass, cc.Comm, loopDepth)
+				}
+				for _, stmt := range cc.Body {
+					checkMergeOrder(pass, stmt, loopDepth)
+				}
+			}
+			return false
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW && loopDepth > 0 {
 				pass.Reportf(n.Pos(), "channel receive inside a loop merges worker results in arrival order, which is scheduling-dependent; store per-worker partials in a slice and combine them by worker index")
@@ -69,6 +85,17 @@ func checkMergeOrder(pass *Pass, n ast.Node, loopDepth int) {
 		}
 		return true
 	})
+}
+
+// isBareReceive reports whether a select communication is a receive whose
+// value is discarded (`case <-ch:`) — pure coordination, nothing to merge.
+func isBareReceive(comm ast.Stmt) bool {
+	es, ok := comm.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	u, ok := es.X.(*ast.UnaryExpr)
+	return ok && u.Op == token.ARROW
 }
 
 // checkLoopBody continues the walk inside a loop body at the given depth.

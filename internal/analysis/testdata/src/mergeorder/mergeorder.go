@@ -40,6 +40,33 @@ func SingleRecv(done chan struct{}) {
 	<-done
 }
 
+// TickerLoop is the standard cancellation/ticker select: both receives
+// discard their value, so nothing merges in arrival order — allowed.
+func TickerLoop(done, tick chan struct{}, work func()) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick:
+			work()
+		}
+	}
+}
+
+// SelectMixed pairs a bare coordination receive with a value-consuming
+// one: only the consuming case is an arrival-order merge.
+func SelectMixed(done chan struct{}, results chan int) int {
+	s := 0
+	for {
+		select {
+		case <-done:
+			return s
+		case v := <-results: // want generic/mergeorder
+			s += v
+		}
+	}
+}
+
 // RecvInClosure receives once per closure invocation; the enclosing loop
 // does not make it an arrival-order merge: allowed.
 func RecvInClosure(chs []chan int) []func() int {

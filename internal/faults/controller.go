@@ -47,6 +47,31 @@ func NewController(m *classifier.Model, enc encoding.Encoder) *Controller {
 	return c
 }
 
+// CloneFor returns a controller carrying this controller's accumulated
+// fault state — guard CRCs, injected/pending counters, masked lanes,
+// quarantine totals, and history — rebound to a cloned model/encoder pair.
+// The serving layer's clone-modify-publish protocol uses it so that a
+// published snapshot remembers which banks are dead and which corruption a
+// scrub has not yet seen, rather than resetting fault bookkeeping on every
+// publish.
+func (c *Controller) CloneFor(m *classifier.Model, enc encoding.Encoder) *Controller {
+	n := &Controller{
+		model:        m,
+		injectedBits: c.injectedBits,
+		pending:      c.pending,
+		quarantined:  c.quarantined,
+		masked:       c.masked,
+		history:      append([]string(nil), c.history...),
+	}
+	if f, ok := enc.(encoding.Faultable); ok {
+		n.enc = f
+	}
+	if c.guard != nil {
+		n.guard = c.guard.Clone()
+	}
+	return n
+}
+
 // InvalidateGuard drops the class-memory CRC reference. Call after any
 // legitimate model mutation (training, quantization, adaptation, model
 // load); the guard re-snapshots lazily before the next class injection.

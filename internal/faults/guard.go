@@ -24,6 +24,15 @@ func NewGuard(m *classifier.Model) *Guard {
 	return g
 }
 
+// Clone returns an independent copy of the guard, so a cloned model can
+// carry its CRC reference into a new controller without re-blessing the
+// (possibly corrupted) current state.
+func (g *Guard) Clone() *Guard {
+	c := &Guard{classes: g.classes, d: g.d, crcs: make([][Lanes]uint32, len(g.crcs))}
+	copy(c.crcs, g.crcs)
+	return c
+}
+
 // Resync recomputes every CRC from the model's current state, blessing it as
 // the new reference. Call after any legitimate mutation (training,
 // quantization, scrub repair).

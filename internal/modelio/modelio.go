@@ -31,6 +31,9 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
+	"syscall"
 
 	"github.com/edge-hdc/generic/internal/classifier"
 	"github.com/edge-hdc/generic/internal/encoding"
@@ -75,6 +78,77 @@ type Bundle struct {
 // CRC32 integrity footer.
 func Write(w io.Writer, b *Bundle) error {
 	return writeVersioned(w, b, version)
+}
+
+// AtomicWriteFile writes a file through the crash-safe temp-fsync-rename
+// protocol: the payload is produced by write into a temporary file in the
+// destination's directory, fsynced, closed, and renamed over path, and the
+// directory entry is fsynced so the rename itself survives power loss. On
+// any error the temporary file is removed and the previous contents of path
+// are untouched — a mid-write crash or a failing serializer can never leave
+// a truncated or half-written file at path.
+func AtomicWriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Platforms
+// whose directory handles reject Sync (it is optional in POSIX) degrade to
+// rename-only atomicity, which still never exposes a partial file.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)) {
+		return nil
+	}
+	return err
+}
+
+// WriteFile atomically serializes the bundle to path: Write through the
+// AtomicWriteFile protocol. The previous file at path (if any) survives any
+// failure bit-for-bit.
+func WriteFile(path string, b *Bundle) error {
+	return AtomicWriteFile(path, func(w io.Writer) error { return Write(w, b) })
+}
+
+// ReadFile reads a bundle from a file written by WriteFile (or any Write
+// stream on disk).
+func ReadFile(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
 }
 
 // writeVersioned writes the requested format version — the legacy

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"os"
 	"strings"
 	"testing"
 
@@ -307,5 +308,65 @@ func TestVersion1Compatibility(t *testing.T) {
 	bs[len(bs)-3] ^= 0x01
 	if _, err := Read(bytes.NewReader(bs)); err != nil {
 		t.Fatalf("v1 stream with silent corruption rejected: %v", err)
+	}
+}
+
+// TestAtomicWriteFilePreservesOriginal is the crash-safety contract of the
+// save path: a write that fails mid-stream (here: a class element beyond
+// the 16-bit wire range, detected halfway through serialization) must leave
+// the previously saved file bit-for-bit intact and no temp litter behind.
+func TestAtomicWriteFilePreservesOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/m.model"
+	good := trainedBundle(t)
+	if err := WriteFile(path, good); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison the model so Write errors after the header is already out.
+	bad := trainedBundle(t)
+	bad.Model.Class(0)[0] = 1 << 20
+	if err := WriteFile(path, bad); err == nil {
+		t.Fatal("out-of-range class element serialized without error")
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("failed save corrupted the existing file")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		for _, e := range entries {
+			t.Logf("left behind: %s", e.Name())
+		}
+		t.Errorf("failed save left %d entries in the directory, want 1", len(entries))
+	}
+
+	// The intact original still loads and round-trips.
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model.D() != good.Model.D() {
+		t.Error("reloaded model header mismatch")
+	}
+
+	// A failed write must also not clobber when no original exists.
+	fresh := dir + "/fresh.model"
+	if err := WriteFile(fresh, bad); err == nil {
+		t.Fatal("poisoned bundle accepted")
+	}
+	if _, err := os.Stat(fresh); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("failed first save left a file: %v", err)
 	}
 }

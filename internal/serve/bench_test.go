@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	generic "github.com/edge-hdc/generic"
+	"github.com/edge-hdc/generic/internal/telemetry"
+)
+
+// lockedPipeline is the pre-snapshot serving architecture: one RWMutex over
+// the pipeline, readers share, adapts exclude. It exists only as the
+// benchmark baseline the snapshot core is measured against.
+type lockedPipeline struct {
+	mu sync.RWMutex
+	p  *generic.Pipeline
+}
+
+func (l *lockedPipeline) predict(x []float64) (int, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.p.Predict(x)
+}
+
+func (l *lockedPipeline) adapt(x []float64, label int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _, err := l.p.Adapt(x, label)
+	return err
+}
+
+// BenchmarkPredictUnderAdaptStorm measures predict latency while a
+// background goroutine adapts as fast as it can — the overload scenario the
+// snapshot architecture exists for. The rwmutex baseline blocks every
+// reader for the full duration of each adapt; the snapshot core pays one
+// atomic load. Tail latency (p99-ns, reported per sub-benchmark) is the
+// number that matters: it bounds the worst predict a client sees during an
+// adapt storm.
+func BenchmarkPredictUnderAdaptStorm(b *testing.B) {
+	p, X, _ := testPipeline(b, 1024)
+	AX, AY := adaptStream(256, 41)
+
+	run := func(b *testing.B, predict func([]float64) (int, error), adapt func([]float64, int) error) {
+		done := make(chan struct{})
+		var stormWG sync.WaitGroup
+		stormWG.Add(1)
+		go func() {
+			defer stormWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := adapt(AX[i%len(AX)], AY[i%len(AX)]); err != nil {
+					b.Errorf("storm adapt: %v", err)
+					return
+				}
+			}
+		}()
+
+		var mu sync.Mutex
+		var all []int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			local := make([]int64, 0, 1024)
+			i := 0
+			for pb.Next() {
+				start := telemetry.Now()
+				if _, err := predict(X[i%len(X)]); err != nil {
+					b.Errorf("predict: %v", err)
+					return
+				}
+				local = append(local, telemetry.Now()-start)
+				i++
+			}
+			mu.Lock()
+			all = append(all, local...)
+			mu.Unlock()
+		})
+		b.StopTimer()
+		close(done)
+		stormWG.Wait()
+		if len(all) > 0 {
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			b.ReportMetric(float64(all[len(all)/2]), "p50-ns")
+			b.ReportMetric(float64(all[len(all)*99/100]), "p99-ns")
+		}
+	}
+
+	b.Run("rwmutex", func(b *testing.B) {
+		l := &lockedPipeline{p: p.Clone()}
+		run(b, l.predict, l.adapt)
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		core, err := Open(p.Clone(), Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer core.Close()
+		run(b,
+			func(x []float64) (int, error) { return core.Current().Pipeline.Predict(x) },
+			func(x []float64, label int) error { _, _, err := core.Adapt(x, label); return err },
+		)
+	})
+}

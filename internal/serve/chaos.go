@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	generic "github.com/edge-hdc/generic"
+	"github.com/edge-hdc/generic/internal/rng"
+	"github.com/edge-hdc/generic/internal/telemetry"
+)
+
+// Chaos is a seeded fault-and-latency injector used to prove the serving
+// core degrades gracefully instead of falling over. Two independent
+// torments, both deterministic from the seed:
+//
+//   - Step injects a small randomized persistent fault (class/level/norm
+//     site, uniform or burst corruption) through the core's
+//     clone-modify-publish path — the background scrub loop then has real
+//     damage to detect and repair, and /healthz has real degradation to
+//     report.
+//   - Latency returns a randomized handler delay (up to MaxLatency, drawn
+//     on roughly half of requests) that the HTTP layer sleeps before
+//     serving, which drives the admission gates and per-request deadlines
+//     under test the way a saturated CPU would in production.
+//
+// All methods are safe for concurrent use.
+type Chaos struct {
+	mu         sync.Mutex
+	r          *rng.Rand
+	maxLatency time.Duration
+}
+
+// NewChaos builds a chaos driver. maxLatency bounds injected handler
+// delays; 0 disables latency injection.
+func NewChaos(seed uint64, maxLatency time.Duration) *Chaos {
+	return &Chaos{r: rng.New(seed), maxLatency: maxLatency}
+}
+
+// chaosSites are the persistent fault sites Step rotates through. Class
+// memory dominates (it is the guarded, repairable one); level and norm
+// memory prove the regeneration and norm-recompute repair paths.
+var chaosSites = []generic.FaultSite{
+	generic.FaultSiteClass,
+	generic.FaultSiteClass,
+	generic.FaultSiteLevel,
+	generic.FaultSiteNorm,
+}
+
+// Step injects one randomized fault into the core. The spec is drawn from
+// the chaos stream, so a given seed produces the same torment sequence on
+// every run. Returns the bits flipped.
+func (c *Chaos) Step(core *Core) (int, error) {
+	c.mu.Lock()
+	site := chaosSites[int(c.r.Uint64()%uint64(len(chaosSites)))]
+	kind := generic.FaultUniform
+	if c.r.Uint64()%4 == 0 {
+		kind = generic.FaultBurst
+	}
+	// Rates in the BER band the paper's Fig. 6 shows HDC absorbing —
+	// enough corruption to trip CRC guards, not enough to destroy the
+	// model between scrub ticks.
+	rate := 0.0005 + c.r.Float64()*0.002
+	spec := generic.FaultSpec{
+		Site: site, Kind: kind, Rate: rate,
+		Lane: int(c.r.Uint64() % 16),
+		Seed: c.r.Uint64(),
+	}
+	c.mu.Unlock()
+	n, err := core.InjectFaults(spec)
+	if err != nil {
+		return n, err
+	}
+	telemetry.ChaosInjections.Inc()
+	return n, nil
+}
+
+// Latency draws the next injected handler delay: zero half the time,
+// otherwise uniform in (0, MaxLatency]. Deterministic from the seed in
+// sequence, though under concurrent handlers the interleaving is the
+// client's schedule.
+func (c *Chaos) Latency() time.Duration {
+	if c == nil || c.maxLatency <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.r.Uint64()%2 == 0 {
+		return 0
+	}
+	return time.Duration(c.r.Float64() * float64(c.maxLatency))
+}
+
+// StartChaos launches the torment loop: every interval it injects one
+// Step fault into the core. The returned stop function halts the loop.
+func (c *Chaos) StartChaos(core *Core, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				// Injection can race shutdown (core closed) — chaos is
+				// best-effort by definition.
+				_, _ = c.Step(core)
+			}
+		}
+	}()
+	return func() { close(done); <-finished }
+}

@@ -1,0 +1,440 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	generic "github.com/edge-hdc/generic"
+	"github.com/edge-hdc/generic/internal/modelio"
+	"github.com/edge-hdc/generic/internal/telemetry"
+)
+
+// Snapshot is one immutable published model state. Its pipeline must only
+// be used through concurrency-safe entry points (Predict, PredictAll,
+// Health, Save — never Adapt/Fit/Scrub); mutation goes through the Core,
+// which clones, modifies, and publishes a successor.
+type Snapshot struct {
+	Pipeline *generic.Pipeline
+	// Version counts publishes since boot, starting at 1.
+	Version uint64
+	// Seq is the last adapt WAL sequence folded into this state.
+	Seq uint64
+}
+
+// State is the serving health machine.
+//
+//	StateOK       — model intact, durability intact.
+//	StateDegraded — serving with known damage (masked banks, quarantined
+//	                columns, unscrubbed injections); answers may be
+//	                approximate but the engine keeps answering.
+//	StateFailing  — a mutator hit an operational error (WAL append failed,
+//	                scrub errored): durability or repair is broken. Load
+//	                balancers should drain; predicts still serve the last
+//	                good snapshot.
+//
+// ok⇄degraded transitions follow the fault controller's Health after every
+// successful mutation; any mutator error forces failing, and the next
+// successful mutation (including the background scrub tick) recovers to
+// ok/degraded.
+type State int32
+
+const (
+	StateOK State = iota
+	StateDegraded
+	StateFailing
+)
+
+func (s State) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateDegraded:
+		return "degraded"
+	case StateFailing:
+		return "failing"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Options configures a Core.
+type Options struct {
+	// Dir is the durable state directory (checkpoint + adapt WAL). Empty
+	// disables persistence: adapts are published in memory only.
+	Dir string
+	// Sync is the WAL fsync policy.
+	Sync SyncPolicy
+	// CheckpointEvery checkpoints and truncates the WAL after this many
+	// appended records. 0 disables automatic checkpoints (shutdown and
+	// explicit Checkpoint calls still write one).
+	CheckpointEvery int
+}
+
+const (
+	checkpointFile = "model.ckpt"
+	walFile        = "adapt.wal"
+)
+
+// Core is the serving core: one atomically published snapshot, one mutator
+// lock, and the durability machinery. Predict-side methods (Current, State)
+// are lock-free and safe for any concurrency; mutators serialize on an
+// internal lock and never block readers.
+type Core struct {
+	cur   atomic.Pointer[Snapshot]
+	state atomic.Int32
+
+	mu        sync.Mutex // serializes Adapt/Scrub/InjectFaults/Checkpoint/Close
+	wal       *WAL       // nil when persistence is disabled
+	nextSeq   uint64
+	sinceCkpt int
+	replayed  int
+	closed    bool
+
+	opts     Options
+	ckptPath string
+}
+
+// Open builds a serving core. Precedence for the initial model state:
+//
+//  1. A checkpoint in opts.Dir, when present (p, if also given, is ignored
+//     — the durable state is the truth after a restart).
+//  2. The caller-provided trained pipeline p.
+//
+// With opts.Dir set, the adapt WAL is then opened (repairing any torn
+// tail) and every record after the checkpoint's sequence is replayed, so
+// the returned core's published snapshot contains every acknowledged adapt
+// from the previous life of the process. Replayed counts them.
+func Open(p *generic.Pipeline, opts Options) (*Core, error) {
+	c := &Core{opts: opts}
+	var lastSeq uint64
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		c.ckptPath = filepath.Join(opts.Dir, checkpointFile)
+		if ck, seq, err := ReadCheckpoint(c.ckptPath); err == nil {
+			p, lastSeq = ck, seq
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("serve: loading checkpoint: %w", err)
+		}
+	}
+	if p == nil {
+		return nil, errors.New("serve: no initial pipeline and no checkpoint")
+	}
+	if _, err := p.Health(); err != nil {
+		return nil, err // untrained pipeline cannot serve
+	}
+	work := p
+	if opts.Dir != "" {
+		wal, records, walSeq, err := OpenWAL(filepath.Join(opts.Dir, walFile), opts.Sync)
+		if err != nil {
+			return nil, err
+		}
+		c.wal = wal
+		for _, rec := range records {
+			if rec.Seq <= lastSeq {
+				continue // already folded into the checkpoint
+			}
+			if work == p {
+				work = p.Clone() // copy-on-first-replay: keep the caller's pipeline pristine
+			}
+			if _, _, err := work.Adapt(rec.X, rec.Label); err != nil {
+				wal.Close()
+				return nil, fmt.Errorf("serve: WAL replay at seq %d: %w", rec.Seq, err)
+			}
+			lastSeq = rec.Seq
+			c.replayed++
+		}
+		if walSeq > lastSeq {
+			lastSeq = walSeq
+		}
+		telemetry.WALReplayed.Add(int64(c.replayed))
+	}
+	c.nextSeq = lastSeq + 1
+	c.cur.Store(&Snapshot{Pipeline: work, Version: 1, Seq: lastSeq})
+	telemetry.SnapshotVersion.Set(1)
+	c.refreshState(work)
+	return c, nil
+}
+
+// Current returns the live snapshot: one atomic load, never blocks, safe
+// from any goroutine. The snapshot is immutable — hold it as long as
+// needed; later publishes do not disturb it.
+func (c *Core) Current() *Snapshot { return c.cur.Load() }
+
+// State returns the health machine's current verdict.
+func (c *Core) State() State { return State(c.state.Load()) }
+
+// Replayed reports how many WAL records Open folded back in after a crash.
+func (c *Core) Replayed() int { return c.replayed }
+
+// publish installs next as the live snapshot.
+func (c *Core) publish(next *generic.Pipeline, seq uint64) {
+	start := telemetry.Now()
+	v := c.cur.Load().Version + 1
+	c.cur.Store(&Snapshot{Pipeline: next, Version: v, Seq: seq})
+	telemetry.SnapshotVersion.Set(int64(v))
+	telemetry.SnapshotPublishNS.ObserveSince(start)
+}
+
+// refreshState recomputes ok/degraded from the pipeline's fault health.
+func (c *Core) refreshState(p *generic.Pipeline) {
+	h, err := p.Health()
+	switch {
+	case err != nil:
+		c.state.Store(int32(StateFailing))
+	case h.Degraded():
+		c.state.Store(int32(StateDegraded))
+	default:
+		c.state.Store(int32(StateOK))
+	}
+}
+
+// Adapt performs one durable online-learning step through the
+// clone-modify-publish protocol:
+//
+//  1. Clone the current snapshot's pipeline and apply the update to the
+//     clone (validation errors surface here, before anything is logged).
+//  2. Append the step to the WAL and fsync per policy — the acknowledgment
+//     point. A WAL failure returns ErrWAL (wrapped), publishes nothing,
+//     and flips the health machine to failing.
+//  3. Publish the clone. Readers switch to the new state with one atomic
+//     pointer swap; in-flight predicts keep their old snapshot.
+//
+// The returned values mirror Pipeline.Adapt. Concurrent Adapts serialize;
+// concurrent Predicts are never blocked.
+func (c *Core) Adapt(x []float64, label int) (pred int, updated bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, false, errors.New("serve: core closed")
+	}
+	cur := c.cur.Load()
+	next := cur.Pipeline.Clone()
+	pred, updated, err = next.Adapt(x, label)
+	if err != nil {
+		return 0, false, err
+	}
+	seq := c.nextSeq
+	if c.wal != nil {
+		if err := c.wal.Append(Record{Seq: seq, Label: label, X: x}); err != nil {
+			c.state.Store(int32(StateFailing))
+			return 0, false, err
+		}
+	}
+	c.nextSeq++
+	c.publish(next, seq)
+	if c.State() == StateFailing {
+		// Durability is back (the append above succeeded); let the fault
+		// health decide between ok and degraded again.
+		c.refreshState(next)
+	}
+	if c.wal != nil {
+		c.sinceCkpt++
+		if c.opts.CheckpointEvery > 0 && c.sinceCkpt >= c.opts.CheckpointEvery {
+			// Best-effort: a failed checkpoint is not a lost update (the WAL
+			// still holds everything); keep serving and retry next time.
+			if err := c.checkpointLocked(); err != nil {
+				telemetry.WALErrors.Inc()
+			}
+		}
+	}
+	return pred, updated, nil
+}
+
+// Scrub clones the live pipeline, runs the CRC sweep and self-repair pass
+// on the clone, and publishes the repaired state. The health machine is
+// refreshed from the post-scrub fault health.
+func (c *Core) Scrub() (generic.FaultScrubReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return generic.FaultScrubReport{}, errors.New("serve: core closed")
+	}
+	cur := c.cur.Load()
+	next := cur.Pipeline.Clone()
+	rep, err := next.Scrub()
+	if err != nil {
+		c.state.Store(int32(StateFailing))
+		return rep, err
+	}
+	c.publish(next, cur.Seq)
+	c.refreshState(next)
+	return rep, nil
+}
+
+// InjectFaults applies a fault spec through clone-modify-publish — the
+// chaos driver's entry point, also used by tests to degrade a live core
+// without touching its published snapshot mid-read.
+func (c *Core) InjectFaults(spec generic.FaultSpec) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, errors.New("serve: core closed")
+	}
+	cur := c.cur.Load()
+	next := cur.Pipeline.Clone()
+	n, err := next.InjectFaults(spec)
+	if err != nil {
+		return n, err
+	}
+	c.publish(next, cur.Seq)
+	c.refreshState(next)
+	return n, nil
+}
+
+// Checkpoint durably persists the current snapshot and truncates the WAL.
+// No-op without a state directory.
+func (c *Core) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checkpointLocked()
+}
+
+func (c *Core) checkpointLocked() error {
+	if c.ckptPath == "" {
+		return nil
+	}
+	snap := c.cur.Load()
+	if err := WriteCheckpoint(c.ckptPath, snap.Pipeline, snap.Seq); err != nil {
+		return err
+	}
+	if c.wal != nil {
+		if err := c.wal.Reset(); err != nil {
+			return err
+		}
+	}
+	c.sinceCkpt = 0
+	telemetry.Checkpoints.Inc()
+	return nil
+}
+
+// Close checkpoints (when persistent), syncs, and closes the WAL. The core
+// rejects further mutation; Current keeps serving the last snapshot so
+// in-flight reads drain cleanly.
+func (c *Core) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var first error
+	if err := c.checkpointLocked(); err != nil {
+		first = err
+	}
+	if c.wal != nil {
+		if err := c.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// StartScrubLoop launches the self-healing loop: every interval it runs a
+// CRC sweep + scrub through the clone-modify-publish path, keeping the
+// health machine honest and repairing damage (chaos-injected or real)
+// without any caller intervention. The returned stop function halts the
+// loop and waits for a tick in progress.
+func (c *Core) StartScrubLoop(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				telemetry.ScrubLoopRuns.Inc()
+				// A scrub error flips the machine to failing; the loop keeps
+				// ticking so a later pass can recover.
+				_, _ = c.Scrub()
+			}
+		}
+	}()
+	return func() { close(done); <-finished }
+}
+
+// HasCheckpoint reports whether dir holds a serving checkpoint — the boot
+// path uses it to decide whether -model/-dataset are required.
+func HasCheckpoint(dir string) bool {
+	if dir == "" {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(dir, checkpointFile))
+	return err == nil
+}
+
+// Checkpoint file layout:
+//
+//	magic "GCKP" | version u16 | lastSeq u64 | crc32(magic..lastSeq) u32 |
+//	modelio bundle (self-checksummed)
+//
+// binding the last applied WAL sequence to the model bytes in one atomic
+// file, so replay-after-restart knows exactly which log records are already
+// folded in.
+const (
+	ckptMagic   = "GCKP"
+	ckptVersion = 1
+)
+
+// WriteCheckpoint atomically persists a pipeline plus its last applied WAL
+// sequence. The previous checkpoint (if any) survives any failure.
+func WriteCheckpoint(path string, p *generic.Pipeline, lastSeq uint64) error {
+	return modelio.AtomicWriteFile(path, func(w io.Writer) error {
+		var hdr [len(ckptMagic) + 2 + 8 + 4]byte
+		le := binary.LittleEndian
+		copy(hdr[:], ckptMagic)
+		le.PutUint16(hdr[4:], ckptVersion)
+		le.PutUint64(hdr[6:], lastSeq)
+		le.PutUint32(hdr[14:], crc32.ChecksumIEEE(hdr[:14]))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		return p.Save(w)
+	})
+}
+
+// ReadCheckpoint loads a checkpoint written by WriteCheckpoint. A missing
+// file returns os.ErrNotExist (wrapped); a corrupt header or model payload
+// is an error — the caller decides whether to fall back to a fresh model.
+func ReadCheckpoint(path string) (*generic.Pipeline, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var hdr [len(ckptMagic) + 2 + 8 + 4]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("serve: checkpoint header: %w", err)
+	}
+	le := binary.LittleEndian
+	if string(hdr[:4]) != ckptMagic {
+		return nil, 0, fmt.Errorf("serve: bad checkpoint magic %q", hdr[:4])
+	}
+	if v := le.Uint16(hdr[4:]); v != ckptVersion {
+		return nil, 0, fmt.Errorf("serve: unsupported checkpoint version %d", v)
+	}
+	if le.Uint32(hdr[14:]) != crc32.ChecksumIEEE(hdr[:14]) {
+		return nil, 0, errors.New("serve: checkpoint header CRC mismatch")
+	}
+	lastSeq := le.Uint64(hdr[6:])
+	p, err := generic.LoadPipeline(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: checkpoint model: %w", err)
+	}
+	return p, lastSeq, nil
+}

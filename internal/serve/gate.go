@@ -1,0 +1,57 @@
+package serve
+
+// Gate is a bounded-concurrency admission controller: a counting semaphore
+// that never blocks. The HTTP layer tries to acquire a slot per request and
+// sheds with 429 + Retry-After when none is free, so overload surfaces as
+// fast, explicit backpressure instead of unbounded queueing and latency
+// collapse. A nil *Gate admits everything (admission disabled).
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate builds a gate admitting at most n concurrent holders. n <= 0
+// returns nil — the unlimited gate.
+func NewGate(n int) *Gate {
+	if n <= 0 {
+		return nil
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// TryAcquire claims a slot without blocking, reporting whether admission
+// succeeded. Every true must be paired with exactly one Release.
+func (g *Gate) TryAcquire() bool {
+	if g == nil {
+		return true
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (g *Gate) Release() {
+	if g == nil {
+		return
+	}
+	<-g.slots
+}
+
+// InFlight reports the number of currently held slots.
+func (g *Gate) InFlight() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.slots)
+}
+
+// Cap reports the gate's concurrency bound (0 for the unlimited gate).
+func (g *Gate) Cap() int {
+	if g == nil {
+		return 0
+	}
+	return cap(g.slots)
+}

@@ -354,6 +354,23 @@ var (
 	FaultMaskedLanes = Default.Gauge("fault_masked_lanes")
 	FaultPending     = Default.Gauge("fault_pending")
 
+	// Serving core (internal/serve): snapshot lifecycle, adapt WAL
+	// durability, admission control, and the self-healing loop. The
+	// snapshot gauge is the currently published version; WAL fsync latency
+	// is the durability cost each acknowledged adapt pays.
+	SnapshotVersion   = Default.Gauge("snapshot_version")
+	SnapshotPublishNS = Default.Histogram("snapshot_publish_ns")
+	WALAppends        = Default.Counter("wal_appends_total")
+	WALBytes          = Default.Counter("wal_bytes_total")
+	WALReplayed       = Default.Counter("wal_replayed_total")
+	WALErrors         = Default.Counter("wal_errors_total")
+	WALFsyncNS        = Default.Histogram("wal_fsync_ns")
+	Checkpoints       = Default.Counter("checkpoints_total")
+	ServeShed         = Default.Counter("serve_shed_total")
+	ServeDeadlines    = Default.Counter("serve_deadline_total")
+	ScrubLoopRuns     = Default.Counter("scrub_loop_runs_total")
+	ChaosInjections   = Default.Counter("chaos_injections_total")
+
 	// Accelerator sim: mirrors of the cycle-level activity counters.
 	SimCycles     = Default.Counter("sim_cycles_total")
 	SimEncodings  = Default.Counter("sim_encodings_total")

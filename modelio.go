@@ -29,17 +29,16 @@ func (p *Pipeline) Save(w io.Writer) error {
 	})
 }
 
-// SaveFile is Save to a file path.
+// SaveFile is Save to a file path, through the crash-safe
+// temp-fsync-rename protocol: the bytes land in a temporary file first and
+// are renamed over path only after a successful fsync, so a crash mid-write
+// (or a serialization error) leaves any previous model file at path intact
+// instead of a truncated one.
 func (p *Pipeline) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := p.trained("SaveFile"); err != nil {
 		return err
 	}
-	if err := p.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return modelio.AtomicWriteFile(path, p.Save)
 }
 
 // LoadPipeline reconstructs a trained pipeline from a stream written by
