@@ -128,8 +128,8 @@ func run(cfg runConfig) error {
 	}
 	snap := core.Current()
 	m := snap.Pipeline.Model()
-	fmt.Printf("generic-serve: pipeline ready (D=%d, %d classes, %d-bit, snapshot v%d, wal seq %d)\n",
-		m.D(), m.Classes(), m.BW(), snap.Version, snap.Seq)
+	fmt.Printf("generic-serve: pipeline ready (D=%d, %d classes, %d-bit, %s mode, snapshot v%d, wal seq %d)\n",
+		m.D(), m.Classes(), m.BW(), snap.Pipeline.Mode(), snap.Version, snap.Seq)
 
 	s := newServer(core, cfg.server)
 	stopScrub := core.StartScrubLoop(cfg.scrubEvery)

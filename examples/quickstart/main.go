@@ -66,14 +66,12 @@ func main() {
 	}
 	fmt.Printf("test accuracy: %.1f%%\n", 100*acc)
 
-	// 4. Edge deployments can trade accuracy for energy on demand:
-	//    quantize the model to 4-bit classes and halve the dimensions.
-	if err := p.Quantize(4); err != nil {
-		log.Fatal(err)
-	}
+	// 4. Edge deployments can trade accuracy for energy on demand: score
+	//    only a prefix of the dimensions (the accelerator's on-demand
+	//    dimension reduction) without retraining anything.
 	correct := 0
 	for i, x := range testX {
-		pred, err := p.PredictReduced(x, 1024)
+		pred, err := p.Predict(x, generic.WithDims(1024))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,6 +79,24 @@ func main() {
 			correct++
 		}
 	}
-	fmt.Printf("accuracy @ 4-bit model, 1024 of 2048 dims: %.1f%%\n",
+	fmt.Printf("accuracy @ 1024 of 2048 dims: %.1f%%\n",
 		100*float64(correct)/float64(len(testX)))
+
+	// 5. For the cheapest inference, binarize: classes collapse to packed
+	//    sign bits and prediction becomes XOR + popcount. Binarize switches
+	//    the pipeline's default mode; WithMode selects per call when both
+	//    representations matter.
+	if err := p.Binarize(); err != nil {
+		log.Fatal(err)
+	}
+	accBin, err := p.Accuracy(testX, testY) // binary mode is now the default
+	if err != nil {
+		log.Fatal(err)
+	}
+	accExact, err := p.Accuracy(testX, testY, generic.WithMode(generic.Exact))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accuracy binarized: %.1f%% (exact counters still available: %.1f%%)\n",
+		100*accBin, 100*accExact)
 }

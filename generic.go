@@ -47,6 +47,7 @@ import (
 	"github.com/edge-hdc/generic/internal/faults"
 	"github.com/edge-hdc/generic/internal/hdc"
 	"github.com/edge-hdc/generic/internal/metrics"
+	"github.com/edge-hdc/generic/internal/parallel"
 	"github.com/edge-hdc/generic/internal/perf"
 	"github.com/edge-hdc/generic/internal/power"
 	"github.com/edge-hdc/generic/internal/sim"
@@ -56,6 +57,11 @@ import (
 // ErrNotTrained is returned (wrapped) by pipeline entry points used before
 // Fit (or before loading a trained model).
 var ErrNotTrained = errors.New("generic: pipeline used before Fit")
+
+// ErrNotBinarized is returned (wrapped) when binary inference is requested —
+// WithMode(Binary) — on a pipeline that has not made the mode transition via
+// Binarize (or loaded a binarized model file).
+var ErrNotBinarized = errors.New("generic: binary inference requested before Binarize")
 
 // EncodingKind selects an HDC encoding family.
 type EncodingKind = encoding.Kind
@@ -110,6 +116,11 @@ func NewEncoderPool(kind EncodingKind, cfg EncoderConfig, workers int) (*Encoder
 // Model is a trained HDC classification model.
 type Model = classifier.Model
 
+// BinaryModel is the packed sign-binarized inference representation derived
+// from a Model by Pipeline.Binarize: one bit per dimension per class, scored
+// by Hamming distance.
+type BinaryModel = classifier.BinaryModel
+
 // TrainOptions configures HDC training; zero values take the paper's
 // defaults (20 retraining epochs, 16-bit classes).
 type TrainOptions = classifier.Options
@@ -135,42 +146,140 @@ func Train(encoded []Hypervector, labels []int, classes int, opt TrainOptions) *
 	return m
 }
 
-// Option configures one call to a Pipeline batch entry point (PredictAll,
-// Accuracy, and their deprecated fixed-signature forms).
-type Option func(*callOpts)
+// Mode selects the inference representation for one call (see WithMode).
+type Mode int
+
+const (
+	// Exact scores the integer class counters with the modified cosine
+	// metric — the paper's full-precision datapath.
+	Exact Mode = iota
+	// Binary scores the packed sign-binarized model by Hamming distance
+	// (XOR + popcount) with a binarized query — the BinHD-style limit case.
+	// Requires a prior Pipeline.Binarize.
+	Binary
+)
+
+// modeDefault makes a call follow the pipeline's current mode: Binary after
+// Binarize, Exact otherwise.
+const modeDefault Mode = -1
+
+func (m Mode) String() string {
+	switch m {
+	case Exact:
+		return "exact"
+	case Binary:
+		return "binary"
+	case modeDefault:
+		return "default"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Option configures one call to a Pipeline inference entry point (Predict,
+// PredictAll, Accuracy, and their deprecated fixed-signature forms).
+// Option is an opaque value (not a closure) so building and applying
+// options never allocates — the single-sample binary Predict path runs at
+// zero allocations per call, and the alloc-budget gate depends on that.
+type Option struct {
+	kind optKind
+	v    int
+}
+
+type optKind uint8
+
+const (
+	optWorkers optKind = iota + 1
+	optMode
+	optDims
+)
 
 type callOpts struct {
 	workers int
+	mode    Mode
+	dims    int
 }
 
 // WithWorkers fans the call's encoding and scoring across n workers (n ≤ 0
 // means GOMAXPROCS). The default is 1 (serial); results are bit-identical
 // for every worker count.
 func WithWorkers(n int) Option {
-	return func(o *callOpts) { o.workers = n }
+	return Option{kind: optWorkers, v: n}
+}
+
+// WithMode selects the inference representation for this call: Exact forces
+// the integer path, Binary the packed Hamming path (an error wrapping
+// ErrNotBinarized if the pipeline was never binarized). Without WithMode a
+// call follows the pipeline's current mode — Binary after Binarize, Exact
+// otherwise.
+func WithMode(m Mode) Option {
+	return Option{kind: optMode, v: int(m)}
+}
+
+// WithDims scores only the first n dimensions — the accelerator's on-demand
+// dimension reduction (§4.3.3) — rounded down to the sub-norm granularity
+// (minimum one chunk) and clamped to D. Zero (the default) scores every
+// dimension. The exact path uses the per-chunk sub-norms (the paper's
+// "updated norms" fix); the binary path's prefix Hamming needs no norms.
+func WithDims(n int) Option {
+	return Option{kind: optDims, v: n}
 }
 
 func applyOpts(opts []Option) callOpts {
-	o := callOpts{workers: 1}
+	o := callOpts{workers: 1, mode: modeDefault}
 	for _, f := range opts {
-		f(&o)
+		switch f.kind {
+		case optWorkers:
+			o.workers = f.v
+		case optMode:
+			o.mode = Mode(f.v)
+		case optDims:
+			o.dims = f.v
+		}
 	}
 	return o
+}
+
+// resolveMode turns a call's requested mode into Exact or Binary, defaulting
+// to the pipeline's current mode and validating that binary inference has a
+// binarized model to run on.
+func (p *Pipeline) resolveMode(op string, o callOpts) (Mode, error) {
+	m := o.mode
+	if m == modeDefault {
+		m = p.mode
+	}
+	switch m {
+	case Exact:
+		return Exact, nil
+	case Binary:
+		if p.bmodel == nil {
+			return 0, fmt.Errorf("generic: %s: %w", op, ErrNotBinarized)
+		}
+		return Binary, nil
+	}
+	return 0, fmt.Errorf("generic: %s: unknown inference mode %v", op, m)
 }
 
 // Pipeline couples an encoder with a model, providing the end-to-end API a
 // downstream application uses.
 //
-// Concurrency: a trained pipeline is safe for concurrent Predict,
-// PredictReduced, and the batch scoring methods — each goroutine draws a
-// private encoder clone plus scratch hypervector from an internal pool
+// Concurrency: a trained pipeline is safe for concurrent Predict and the
+// batch scoring methods, in either inference mode — each goroutine draws a
+// private encoder clone plus scratch hypervectors from an internal pool
 // (encoders carry scratch state, so sharing one across goroutines would
-// corrupt encodings). Methods that mutate state — Fit, Adapt, Quantize —
-// require exclusive access.
+// corrupt encodings). Methods that mutate state — Fit, Adapt, Quantize,
+// Binarize — require exclusive access.
 type Pipeline struct {
 	enc     Encoder
 	model   *Model
 	classes int
+	// bmodel is the packed binary inference representation, built by
+	// Binarize and kept in sync by the mutating entry points (Adapt
+	// rebinarizes the touched classes; Quantize, Scrub, and class-site fault
+	// injection rebinarize wholesale; Fit drops it — retraining is an
+	// explicit transition back to Exact). mode is the pipeline's default
+	// inference mode, overridable per call with WithMode.
+	bmodel *classifier.BinaryModel
+	mode   Mode
 	// states pools per-goroutine (encoder clone, scratch) pairs so Predict
 	// is safe and allocation-free under concurrency. Clones carry a
 	// bit-exact copy of enc's current hypervector material (including any
@@ -191,10 +300,25 @@ type Pipeline struct {
 }
 
 // pipeState is the per-goroutine working set of a Pipeline: an encoder
-// clone (encoders are not concurrency-safe) and a scratch hypervector.
+// clone (encoders are not concurrency-safe), a scratch hypervector, and a
+// packed scratch vector for binarized queries.
 type pipeState struct {
 	enc     Encoder
 	scratch Hypervector
+	bin     *hdc.BinVec
+}
+
+// encodeBin writes the sign-binarized encoding of x into the state's packed
+// scratch. Library encoders take their fused binarized path; a foreign
+// encoder falls back to packing the signs of its integer encoding, which is
+// the same bits by the BinaryEncoder contract.
+func (st *pipeState) encodeBin(x []float64) {
+	if be, ok := encoding.AsBinary(st.enc); ok {
+		be.EncodeBin(x, st.bin)
+		return
+	}
+	st.enc.Encode(x, st.scratch)
+	st.bin.PackSigns(st.scratch)
 }
 
 // PipelineOption configures a Pipeline at construction.
@@ -229,11 +353,11 @@ func (p *Pipeline) resetStates() {
 		} else {
 			clone = encoding.MustNew(p.enc.Kind(), p.enc.Config())
 		}
-		return &pipeState{enc: clone, scratch: hdc.NewVec(p.enc.D())}
+		return &pipeState{enc: clone, scratch: hdc.NewVec(p.enc.D()), bin: hdc.NewBinVec(p.enc.D())}
 	}}
 	// Seed the pool with the primary encoder so single-goroutine use never
 	// builds a clone.
-	p.states.Put(&pipeState{enc: p.enc, scratch: hdc.NewVec(p.enc.D())})
+	p.states.Put(&pipeState{enc: p.enc, scratch: hdc.NewVec(p.enc.D()), bin: hdc.NewBinVec(p.enc.D())})
 }
 
 // Encoder returns the pipeline's encoder; Model its trained model (nil
@@ -281,8 +405,11 @@ func (p *Pipeline) FitResult(X [][]float64, Y []int, opt TrainOptions) (TrainRes
 	}
 	p.model = m
 	p.trainer = res.Trainer
-	// A fault controller (if any) holds the replaced model; its guard and
-	// mask state no longer apply.
+	// Retraining replaces the model wholesale: the binary representation is
+	// dropped (re-binarizing is an explicit transition) and a fault
+	// controller's guard and mask state no longer apply.
+	p.bmodel = nil
+	p.mode = Exact
 	p.faultCtl = nil
 	return res, nil
 }
@@ -305,6 +432,7 @@ func (p *Pipeline) Clone() *Pipeline {
 		classes:     p.classes,
 		trainer:     p.trainer,
 		hasChecksum: p.hasChecksum,
+		mode:        p.mode,
 	}
 	if mc, ok := p.enc.(encoding.MaterialCloner); ok {
 		c.enc = mc.CloneMaterial()
@@ -313,6 +441,9 @@ func (p *Pipeline) Clone() *Pipeline {
 	}
 	if p.model != nil {
 		c.model = p.model.Clone()
+	}
+	if p.bmodel != nil {
+		c.bmodel = p.bmodel.Clone()
 	}
 	if p.faultCtl != nil {
 		c.faultCtl = p.faultCtl.CloneFor(c.model, c.enc)
@@ -362,9 +493,10 @@ func (p *Pipeline) checkFeatures(op string, x []float64, i int) error {
 
 // Predict classifies one input. Safe for concurrent use on a trained
 // pipeline. It returns ErrNotTrained (wrapped) before Fit, and an error on
-// a feature-width mismatch. Options are accepted for signature symmetry
-// with the batch entry points; a single sample has nothing to fan out, so
-// WithWorkers has no effect here.
+// a feature-width mismatch. WithMode selects the inference representation
+// (defaulting to the pipeline's current mode) and WithDims reduces the
+// scored dimensions; a single sample has nothing to fan out, so WithWorkers
+// has no effect here.
 func (p *Pipeline) Predict(x []float64, opts ...Option) (int, error) {
 	if err := p.trained("Predict"); err != nil {
 		return 0, err
@@ -372,15 +504,32 @@ func (p *Pipeline) Predict(x []float64, opts ...Option) (int, error) {
 	if err := p.checkFeatures("Predict", x, -1); err != nil {
 		return 0, err
 	}
-	_ = applyOpts(opts)
+	o := applyOpts(opts)
+	mode, err := p.resolveMode("Predict", o)
+	if err != nil {
+		return 0, err
+	}
+	dims := o.dims
+	if dims <= 0 {
+		dims = p.model.D()
+	}
 	sp := perf.Begin("pipeline.predict")
 	st := p.states.Get().(*pipeState)
 	esp := sp.Child("encode")
-	st.enc.Encode(x, st.scratch)
-	esp.End()
-	ssp := sp.Child("score")
-	c, _ := p.model.Predict(st.scratch)
-	ssp.End()
+	var c int
+	if mode == Binary {
+		st.encodeBin(x)
+		esp.End()
+		ssp := sp.Child("score")
+		c, _ = p.bmodel.PredictDims(st.bin, dims)
+		ssp.End()
+	} else {
+		st.enc.Encode(x, st.scratch)
+		esp.End()
+		ssp := sp.Child("score")
+		c, _ = p.model.PredictDims(st.scratch, dims, true)
+		ssp.End()
+	}
 	p.states.Put(st)
 	sp.End()
 	return c, nil
@@ -388,22 +537,79 @@ func (p *Pipeline) Predict(x []float64, opts ...Option) (int, error) {
 
 // PredictAll classifies a batch of inputs, returning predictions in input
 // order. Encoding and scoring fan out across WithWorkers(n) workers
-// (default serial); predictions are bit-identical to calling Predict per
-// input for every worker count.
+// (default serial); WithMode and WithDims select the representation and
+// scored dimensions as in Predict. Predictions are bit-identical to calling
+// Predict per input for every worker count.
 func (p *Pipeline) PredictAll(X [][]float64, opts ...Option) ([]int, error) {
-	if err := p.trained("PredictAll"); err != nil {
+	dst := make([]int, len(X))
+	if err := p.PredictAllInto(dst, X, opts...); err != nil {
 		return nil, err
 	}
+	return dst, nil
+}
+
+// PredictAllInto is PredictAll writing predictions into a caller-provided
+// slice of len(X) — the steady-state zero-allocation batch path: in Binary
+// mode each worker streams its contiguous chunk through pooled scratch
+// (packed query in, label out) and no per-sample hypervector is ever
+// materialized.
+func (p *Pipeline) PredictAllInto(dst []int, X [][]float64, opts ...Option) error {
+	if err := p.trained("PredictAllInto"); err != nil {
+		return err
+	}
+	if len(dst) != len(X) {
+		return fmt.Errorf("generic: PredictAllInto: dst length %d, want %d", len(dst), len(X))
+	}
 	for i, x := range X {
-		if err := p.checkFeatures("PredictAll", x, i); err != nil {
-			return nil, err
+		if err := p.checkFeatures("PredictAllInto", x, i); err != nil {
+			return err
 		}
 	}
 	o := applyOpts(opts)
+	mode, err := p.resolveMode("PredictAllInto", o)
+	if err != nil {
+		return err
+	}
+	p.predictAllInto(dst, X, mode, o)
+	return nil
+}
+
+// predictAllInto is the validated core of the batch predictors.
+func (p *Pipeline) predictAllInto(dst []int, X [][]float64, mode Mode, o callOpts) {
+	dims := o.dims
+	if dims <= 0 {
+		dims = p.model.D()
+	}
 	sp := perf.Begin("pipeline.predict_all")
 	defer sp.End()
+	if mode == Binary {
+		w := parallel.Workers(o.workers)
+		if w > len(X) {
+			w = len(X)
+		}
+		if w <= 1 {
+			// Serial fast path without the chunk closure: with a warm state
+			// pool the steady-state batch allocates nothing.
+			st := p.states.Get().(*pipeState)
+			for i, x := range X {
+				st.encodeBin(x)
+				dst[i], _ = p.bmodel.PredictDims(st.bin, dims)
+			}
+			p.states.Put(st)
+			return
+		}
+		parallel.ForChunks(w, len(X), func(_, lo, hi int) {
+			st := p.states.Get().(*pipeState)
+			for i := lo; i < hi; i++ {
+				st.encodeBin(X[i])
+				dst[i], _ = p.bmodel.PredictDims(st.bin, dims)
+			}
+			p.states.Put(st)
+		})
+		return
+	}
 	encoded := encoding.EncodeAllWorkers(p.enc, X, o.workers)
-	return p.model.PredictBatch(encoded, o.workers), nil
+	copy(dst, p.model.PredictDimsBatch(encoded, dims, true, o.workers))
 }
 
 // PredictBatch classifies a batch of inputs across workers workers (≤ 0
@@ -418,18 +624,12 @@ func (p *Pipeline) PredictBatch(X [][]float64, workers int) ([]int, error) {
 // PredictReduced classifies using only the first dims dimensions with the
 // updated sub-norms — the accelerator's on-demand dimension reduction.
 // Safe for concurrent use on a trained pipeline.
+//
+// Deprecated: use Predict with WithDims (add WithMode(Exact) to pin the
+// historical representation on a binarized pipeline). generic-lint's depapi
+// check flags in-repo callers of this form.
 func (p *Pipeline) PredictReduced(x []float64, dims int) (int, error) {
-	if err := p.trained("PredictReduced"); err != nil {
-		return 0, err
-	}
-	if err := p.checkFeatures("PredictReduced", x, -1); err != nil {
-		return 0, err
-	}
-	st := p.states.Get().(*pipeState)
-	st.enc.Encode(x, st.scratch)
-	c, _ := p.model.PredictDims(st.scratch, dims, true)
-	p.states.Put(st)
-	return c, nil
+	return p.Predict(x, WithDims(dims), WithMode(Exact))
 }
 
 // Adapt performs one online-learning step: classify x and, when the
@@ -454,6 +654,12 @@ func (p *Pipeline) Adapt(x []float64, label int) (pred int, updated bool, err er
 	p.states.Put(st)
 	sp.End()
 	if updated {
+		if p.bmodel != nil {
+			// The update touched exactly the mispredicted and correct
+			// classes; re-derive just their packed vectors.
+			p.bmodel.RebinarizeClass(p.model, pred)
+			p.bmodel.RebinarizeClass(p.model, label)
+		}
 		p.invalidateGuard()
 	}
 	return pred, updated, nil
@@ -465,9 +671,10 @@ func (p *Pipeline) Adapt(x []float64, label int) (pred int, updated bool, err er
 const accuracyBlock = 2048
 
 // Accuracy scores the pipeline on a labelled set. Encoding and scoring fan
-// out across WithWorkers(n) workers (default serial); samples stream
-// through in bounded blocks, and the result is bit-identical for every
-// worker count. X and Y must be the same length.
+// out across WithWorkers(n) workers (default serial), with WithMode and
+// WithDims selecting the representation and scored dimensions; samples
+// stream through in bounded blocks, and the result is bit-identical for
+// every worker count. X and Y must be the same length.
 func (p *Pipeline) Accuracy(X [][]float64, Y []int, opts ...Option) (float64, error) {
 	if err := p.trained("Accuracy"); err != nil {
 		return 0, err
@@ -484,15 +691,20 @@ func (p *Pipeline) Accuracy(X [][]float64, Y []int, opts ...Option) (float64, er
 		}
 	}
 	o := applyOpts(opts)
+	mode, err := p.resolveMode("Accuracy", o)
+	if err != nil {
+		return 0, err
+	}
+	preds := make([]int, accuracyBlock)
 	correct := 0
 	for lo := 0; lo < len(X); lo += accuracyBlock {
 		hi := lo + accuracyBlock
 		if hi > len(X) {
 			hi = len(X)
 		}
-		encoded := encoding.EncodeAllWorkers(p.enc, X[lo:hi], o.workers)
-		preds := p.model.PredictBatch(encoded, o.workers)
-		for i, pred := range preds {
+		blk := preds[:hi-lo]
+		p.predictAllInto(blk, X[lo:hi], mode, o)
+		for i, pred := range blk {
 			if pred == Y[lo+i] {
 				correct++
 			}
@@ -511,14 +723,48 @@ func (p *Pipeline) AccuracyWorkers(X [][]float64, Y []int, workers int) (float64
 }
 
 // Quantize reduces the model's class bit-width (the accelerator's bw input).
+//
+// Deprecated: for training-time widths set TrainOptions.BW; for binary
+// inference make the explicit mode transition with Binarize, which keeps the
+// integer counters for continued adaptation instead of destructively
+// collapsing them. generic-lint's depapi check flags in-repo callers of this
+// form.
 func (p *Pipeline) Quantize(bw int) error {
 	if err := p.trained("Quantize"); err != nil {
 		return err
 	}
 	p.model.Quantize(bw)
+	if p.bmodel != nil {
+		p.bmodel = classifier.Binarize(p.model)
+	}
 	p.invalidateGuard()
 	return nil
 }
+
+// Binarize derives the packed binary inference representation from the
+// trained integer model and switches the pipeline's default inference mode
+// to Binary — the explicit mode transition of the inference-mode API. The
+// integer counters are retained: Adapt keeps learning on them (rebinarizing
+// the classes it touches), and WithMode(Exact) still scores them directly.
+// Requires exclusive access, like Fit.
+func (p *Pipeline) Binarize() error {
+	if err := p.trained("Binarize"); err != nil {
+		return err
+	}
+	p.bmodel = classifier.Binarize(p.model)
+	p.mode = Binary
+	return nil
+}
+
+// Binarized reports whether the pipeline carries a binary model (and thus
+// defaults to Binary mode). Mode returns the pipeline's default inference
+// mode, as set by Binarize / Fit and overridable per call with WithMode.
+func (p *Pipeline) Binarized() bool { return p.bmodel != nil }
+func (p *Pipeline) Mode() Mode      { return p.mode }
+
+// BinaryModel returns the pipeline's packed binary model (nil before
+// Binarize).
+func (p *Pipeline) BinaryModel() *BinaryModel { return p.bmodel }
 
 // trained guards the exported entry points: using a pipeline before Fit is
 // a caller error reported as a wrapped ErrNotTrained, not a panic (panics
@@ -610,6 +856,13 @@ func (p *Pipeline) InjectFaults(spec FaultSpec) (int, error) {
 		// the primary encoder's now-corrupted material.
 		p.resetStates()
 	}
+	if spec.Site == faults.SiteClass && p.bmodel != nil {
+		// The binary model mirrors the integer counters; corrupted counters
+		// re-binarize so both representations see the same damage. (The
+		// resilience experiment additionally injects into the packed words
+		// directly, via faults.BinaryClassMem.)
+		p.bmodel = classifier.Binarize(p.model)
+	}
 	return n, nil
 }
 
@@ -624,6 +877,9 @@ func (p *Pipeline) Scrub() (FaultScrubReport, error) {
 	sp := perf.Begin("pipeline.scrub")
 	rep := p.faultController().Scrub()
 	p.resetStates()
+	if p.bmodel != nil {
+		p.bmodel = classifier.Binarize(p.model)
+	}
 	sp.End()
 	return rep, nil
 }

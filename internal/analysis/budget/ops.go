@@ -78,6 +78,26 @@ func Ops() []Op {
 		Op{Name: "model/adapt_hit", Run: func() { model.Adapt(query, stableLabel) }},
 	)
 
+	// The binary inference engine: binarized encode (fused kernel), packed
+	// Hamming scoring, and the zero-alloc batch path.
+	bmodel := classifier.Binarize(model)
+	bbatch := make([]*hdc.BinVec, len(batch))
+	for i, h := range batch {
+		bv := hdc.NewBinVec(opD)
+		bv.PackSigns(h)
+		bbatch[i] = bv
+	}
+	bquery := bbatch[0]
+	bout := hdc.NewBinVec(opD)
+	benc, _ := encoding.AsBinary(enc)
+	bx := features(0)
+	bdst := make([]int, len(bbatch))
+	ops = append(ops,
+		Op{Name: "encode/generic_bin", Run: func() { benc.EncodeBin(bx, bout) }},
+		Op{Name: "model/binary_predict", Run: func() { bmodel.Predict(bquery) }},
+		Op{Name: "model/binary_predict_batch_w1", Run: func() { bmodel.PredictBatchInto(bdst, bbatch, 1) }},
+	)
+
 	// The hdc kernels under the classifier: bundling update and scoring dot.
 	a, b := hdc.NewVec(opD), hdc.NewVec(opD)
 	for i := range b {
@@ -86,6 +106,15 @@ func Ops() []Op {
 	ops = append(ops,
 		Op{Name: "hdc/vec_add_into", Run: func() { a.AddInto(b) }},
 		Op{Name: "hdc/vec_dot", Run: func() { _ = a.Dot(b) }},
+	)
+
+	// The packed binary kernels: sign pack and Hamming distance.
+	pa, pb := hdc.NewBinVec(opD), hdc.NewBinVec(opD)
+	pa.PackSigns(a)
+	pb.PackSigns(b)
+	ops = append(ops,
+		Op{Name: "hdc/binvec_pack", Run: func() { pa.PackSigns(b) }},
+		Op{Name: "hdc/binvec_hamming", Run: func() { _ = pa.Hamming(pb) }},
 	)
 
 	// Telemetry and tracing fast paths: the per-sample instrumentation cost

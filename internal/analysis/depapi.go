@@ -14,7 +14,7 @@ import (
 // package boundaries.
 var DepAPI = &Analyzer{
 	Name: "depapi",
-	Doc:  "ban in-repo use of deprecated batch entry points (PredictBatch, AccuracyWorkers)",
+	Doc:  "ban in-repo use of deprecated facade entry points (PredictBatch, AccuracyWorkers, PredictReduced, Quantize)",
 	Run:  runDepAPI,
 }
 
@@ -32,6 +32,8 @@ type deprecatedSym struct {
 var deprecatedSyms = []deprecatedSym{
 	{"generic", "Pipeline", "PredictBatch", "PredictAll(X, WithWorkers(n))"},
 	{"generic", "Pipeline", "AccuracyWorkers", "Accuracy(X, Y, WithWorkers(n))"},
+	{"generic", "Pipeline", "PredictReduced", "Predict(x, WithDims(n))"},
+	{"generic", "Pipeline", "Quantize", "Binarize() or TrainOptions.BW at training time"},
 }
 
 func runDepAPI(pass *Pass) {

@@ -70,7 +70,7 @@ func countVectorParams(pass *Pass, fd *ast.FuncDecl) int {
 }
 
 // isVectorType recognizes the hdc hypervector types by name within the
-// analyzed package: Vec and BitVec, by value or pointer.
+// analyzed package: Vec, BitVec, and BinVec, by value or pointer.
 func isVectorType(pass *Pass, t types.Type) bool {
 	if t == nil {
 		return false
@@ -83,7 +83,7 @@ func isVectorType(pass *Pass, t types.Type) bool {
 		return false
 	}
 	name := named.Obj().Name()
-	return name == "Vec" || name == "BitVec"
+	return name == "Vec" || name == "BitVec" || name == "BinVec"
 }
 
 // isDimGuardStmt reports whether stmt is an acceptable leading guard: a call

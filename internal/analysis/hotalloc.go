@@ -126,7 +126,7 @@ func defaultHotKernel(pass *Pass, fd *ast.FuncDecl) bool {
 }
 
 // hotVectorType recognizes the hypervector types by name within the analyzed
-// package: Vec, BitVec, and Acc, by value or pointer.
+// package: Vec, BitVec, BinVec, and Acc, by value or pointer.
 func hotVectorType(pass *Pass, t types.Type) bool {
 	if t == nil {
 		return false
@@ -139,7 +139,7 @@ func hotVectorType(pass *Pass, t types.Type) bool {
 		return false
 	}
 	switch named.Obj().Name() {
-	case "Vec", "BitVec", "Acc":
+	case "Vec", "BitVec", "BinVec", "Acc":
 		return true
 	}
 	return false

@@ -9,10 +9,12 @@ import (
 	generic "github.com/edge-hdc/generic"
 )
 
-// DeprecatedCalls exercises both deprecated Pipeline methods: flagged.
+// DeprecatedCalls exercises the deprecated Pipeline methods: flagged.
 func DeprecatedCalls(p *generic.Pipeline, X [][]float64, Y []int) {
-	p.PredictBatch(X, 4)       // want generic/depapi
-	p.AccuracyWorkers(X, Y, 2) // want generic/depapi
+	p.PredictBatch(X, 4)         // want generic/depapi
+	p.AccuracyWorkers(X, Y, 2)   // want generic/depapi
+	p.PredictReduced(X[0], 1024) // want generic/depapi
+	p.Quantize(1)                // want generic/depapi
 }
 
 // CanonicalCalls uses the variadic-option surface: silent.
@@ -20,6 +22,8 @@ func CanonicalCalls(p *generic.Pipeline, X [][]float64, Y []int) {
 	p.PredictAll(X, generic.WithWorkers(4))
 	p.Accuracy(X, Y, generic.WithWorkers(2))
 	p.Predict(X[0])
+	p.Binarize()
+	p.Predict(X[0], generic.WithMode(generic.Binary), generic.WithDims(1024))
 }
 
 // Local is an unrelated type that happens to share the deprecated method
@@ -29,10 +33,12 @@ type Local struct{}
 func (Local) PredictBatch(X [][]float64, workers int) []int         { return nil }
 func (Local) AccuracyWorkers(X [][]float64, Y []int, w int) float64 { return 0 }
 func (Local) Evaluate(X [][]float64, Y []int) float64               { return 0 }
+func (Local) Quantize(bw int)                                       {}
 func UnrelatedReceivers(l Local, X [][]float64, Y []int) {
 	l.PredictBatch(X, 4)
 	l.AccuracyWorkers(X, Y, 2)
 	l.Evaluate(X, Y)
+	l.Quantize(1) // same name as Pipeline.Quantize, different receiver: silent
 }
 
 // Suppressed documents the sanctioned escape hatch.

@@ -7,10 +7,15 @@ package hotallochdc
 
 import "fmt"
 
-// Vec and BitVec mirror the real hypervector types.
+// Vec, BitVec, and BinVec mirror the real hypervector types.
 type Vec []int32
 
 type BitVec struct {
+	d     int
+	words []uint64
+}
+
+type BinVec struct {
 	d     int
 	words []uint64
 }
@@ -63,6 +68,27 @@ func (v Vec) Reverse(o Vec) {
 	for i, x := range o {
 		v[len(v)-1-i] = x
 	}
+}
+
+// Hamming is default-hot (exported, BinVec parameter) and clean.
+func (v *BinVec) Hamming(o *BinVec) int {
+	if v.d != o.d {
+		panic(fmt.Sprintf("hdc: Hamming %d vs %d", v.d, o.d))
+	}
+	h := 0
+	for i, w := range v.words {
+		if w != o.words[i] {
+			h++
+		}
+	}
+	return h
+}
+
+// Packed is default-hot via its BinVec parameter and allocates per call.
+func Packed(o *BinVec) []uint64 {
+	out := make([]uint64, len(o.words)) // want generic/hotalloc
+	copy(out, o.words)
+	return out
 }
 
 // Describe is receiver-only (no vector parameter): not default-hot, free to

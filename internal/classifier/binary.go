@@ -1,0 +1,174 @@
+package classifier
+
+import (
+	"fmt"
+
+	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/parallel"
+	"github.com/edge-hdc/generic/internal/perf"
+	"github.com/edge-hdc/generic/internal/telemetry"
+)
+
+// BinaryModel is the packed binary inference representation: one
+// sign-binarized hypervector per class, scored by Hamming distance (XOR +
+// popcount) instead of the integer dot product — the BinHD-style limit case
+// of the accelerator's bw-programmable memories. It is derived from a
+// trained Model by Binarize and is immutable under inference; training and
+// adaptation stay on the integer Model, which re-derives the packed classes
+// it touched.
+//
+// Scoring equivalence: on a sign-binarized model every class vector is
+// bipolar, so all (sub-)norms equal the scored dimension count and the
+// modified-cosine ranking degenerates to the dot-product ranking, which is
+// exactly the min-Hamming ranking (dot = dims − 2·hamming). BinaryModel
+// therefore predicts bit-identically to the integer path on a Quantize(1)
+// model — the golden equivalence test locks this.
+type BinaryModel struct {
+	d        int
+	classes  []*hdc.BinVec
+	sourceBW int // bit-width of the counters this model was binarized from
+}
+
+// Binarize packs the sign of every class counter of m (v >= 0 → +1) into a
+// binary model. The source model is not modified.
+func Binarize(m *Model) *BinaryModel {
+	b := &BinaryModel{d: m.d, sourceBW: m.bw, classes: make([]*hdc.BinVec, len(m.classes))}
+	for c, cv := range m.classes {
+		bv := hdc.NewBinVec(m.d)
+		bv.PackSigns(cv)
+		b.classes[c] = bv
+	}
+	return b
+}
+
+// D returns the dimensionality; Classes the class count; SourceBW the
+// class-element bit-width of the integer model this was binarized from
+// (binarization provenance, persisted by modelio v4).
+func (b *BinaryModel) D() int        { return b.d }
+func (b *BinaryModel) Classes() int  { return len(b.classes) }
+func (b *BinaryModel) SourceBW() int { return b.sourceBW }
+
+// Class exposes class c's packed hypervector. Callers must not modify it;
+// the fault layer (internal/faults) is the sanctioned exception — it flips
+// stored bits in place to model memory errors on the packed representation.
+func (b *BinaryModel) Class(c int) *hdc.BinVec { return b.classes[c] }
+
+// RebinarizeClass re-derives class c's packed vector from the integer model
+// — the maintenance hook for online adaptation, which touches at most two
+// classes per step.
+func (b *BinaryModel) RebinarizeClass(m *Model, c int) {
+	if m.d != b.d {
+		panic(fmt.Sprintf("classifier: RebinarizeClass D=%d, binary model D=%d", m.d, b.d))
+	}
+	b.classes[c].PackSigns(m.classes[c])
+	b.sourceBW = m.bw
+}
+
+// Predict returns the class whose packed vector is nearest to the packed
+// query q in Hamming distance, and that distance. Ties break toward the
+// lower class index, like the integer path.
+//
+//generic:hotpath
+func (b *BinaryModel) Predict(q *hdc.BinVec) (class, hamming int) {
+	return b.PredictDims(q, b.d)
+}
+
+// PredictDims scores only the first dims dimensions (rounded down to the
+// sub-norm granularity, minimum one chunk — the exact path's rounding), the
+// packed form of on-demand dimension reduction. On a bipolar model the
+// per-chunk norms are the chunk sizes, so no sub-norm memory is consulted:
+// min-Hamming over the prefix is already the updated-norms ranking.
+//
+//generic:hotpath
+func (b *BinaryModel) PredictDims(q *hdc.BinVec, dims int) (class, hamming int) {
+	start := telemetry.Now()
+	if dims > b.d {
+		dims = b.d
+	}
+	chunks := dims / SubNormGranularity
+	if chunks < 1 {
+		chunks = 1
+	}
+	dims = chunks * SubNormGranularity
+	best, bestH := 0, b.d+1
+	if dims == b.d {
+		for c, cv := range b.classes {
+			if h := q.Hamming(cv); h < bestH {
+				best, bestH = c, h
+			}
+		}
+	} else {
+		for c, cv := range b.classes {
+			if h := q.HammingPrefix(cv, dims); h < bestH {
+				best, bestH = c, h
+			}
+		}
+	}
+	telemetry.PredictNS.ObserveSince(start)
+	return best, bestH
+}
+
+// PredictBatch classifies every packed query across workers workers (<= 0
+// means GOMAXPROCS, 1 is serial) and returns predictions in input order.
+// Scoring only reads the model, so any worker count yields identical
+// results.
+func (b *BinaryModel) PredictBatch(encoded []*hdc.BinVec, workers int) []int {
+	out := make([]int, len(encoded))
+	b.PredictBatchInto(out, encoded, workers)
+	return out
+}
+
+// PredictBatchInto is PredictBatch writing into a caller-provided slice —
+// the zero-allocation batch scoring path. dst must have len(encoded).
+func (b *BinaryModel) PredictBatchInto(dst []int, encoded []*hdc.BinVec, workers int) {
+	if len(dst) != len(encoded) {
+		panic(fmt.Sprintf("classifier: PredictBatchInto dst length %d, want %d", len(dst), len(encoded)))
+	}
+	sp := perf.Begin("score.batch")
+	defer sp.End()
+	if parallel.Workers(workers) == 1 {
+		// Serial fast path: no closures, so steady-state batch scoring is
+		// allocation-free (the alloc-budget gate binds this at zero).
+		for i, q := range encoded {
+			dst[i], _ = b.Predict(q)
+		}
+		return
+	}
+	parallel.For(workers, len(encoded), func(_, i int) {
+		dst[i], _ = b.Predict(encoded[i])
+	})
+}
+
+// Clone returns a deep copy, so fault sweeps can corrupt a binary model
+// without losing the original.
+func (b *BinaryModel) Clone() *BinaryModel {
+	c := &BinaryModel{d: b.d, sourceBW: b.sourceBW, classes: make([]*hdc.BinVec, len(b.classes))}
+	for i, v := range b.classes {
+		c.classes[i] = v.Clone()
+	}
+	return c
+}
+
+// BinaryAccuracy returns the fraction of packed queries predicted as their
+// label, chunk-counted per worker and summed like the integer Accuracy.
+func BinaryAccuracy(b *BinaryModel, encoded []*hdc.BinVec, labels []int, workers int) float64 {
+	if len(encoded) == 0 {
+		return 0
+	}
+	w := parallel.Workers(workers)
+	counts := make([]int, w)
+	parallel.ForChunks(w, len(encoded), func(worker, lo, hi int) {
+		correct := 0
+		for i := lo; i < hi; i++ {
+			if pred, _ := b.Predict(encoded[i]); pred == labels[i] {
+				correct++
+			}
+		}
+		counts[worker] = correct
+	})
+	correct := 0
+	for _, c := range counts {
+		correct += c
+	}
+	return float64(correct) / float64(len(encoded))
+}

@@ -313,7 +313,8 @@ type windowedEncoder struct {
 	quant     *hdc.LevelTable
 	win       *hdc.BitVec
 	acc       *hdc.Acc
-	bins      []int // scratch: per-feature quantized levels, reused across calls
+	bins      []int       // scratch: per-feature quantized levels, reused across calls
+	bin       *binScratch // scratch for the fused binarized encode kernel
 }
 
 func newWindowed(cfg Config, useID, generic bool) *windowedEncoder {
@@ -324,6 +325,7 @@ func newWindowed(cfg Config, useID, generic bool) *windowedEncoder {
 		win:     hdc.NewBitVec(cfg.D),
 		acc:     hdc.NewAcc(cfg.D),
 		bins:    make([]int, cfg.Features),
+		bin:     newBinScratch(cfg),
 	}
 	e.Regenerate()
 	return e

@@ -157,6 +157,7 @@ func (e *windowedEncoder) CloneMaterial() Encoder {
 		win:     hdc.NewBitVec(e.cfg.D),
 		acc:     hdc.NewAcc(e.cfg.D),
 		bins:    make([]int, e.cfg.Features),
+		bin:     newBinScratch(e.cfg),
 	}
 	if e.idGen != nil {
 		c.idGen = e.idGen.Clone()

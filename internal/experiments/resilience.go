@@ -11,6 +11,8 @@ import (
 	"github.com/edge-hdc/generic/internal/dataset"
 	"github.com/edge-hdc/generic/internal/encoding"
 	"github.com/edge-hdc/generic/internal/faults"
+	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/rng"
 )
 
 // ResilienceDataset is the benchmark the resilience sweep runs on. ISOLET
@@ -39,6 +41,20 @@ type ResiliencePoint struct {
 	Tolerated    int     `json:"tolerated_rows"`
 }
 
+// ResilienceBinaryPoint is one class-site BER cell on the packed binary
+// representation: bits are flipped directly in the binary model's packed
+// words (faults.BinaryClassMem), accuracy is measured on packed Hamming
+// inference, and the repair is rebinarization from the intact integer
+// counters — the binary analogue of the scrub pass. Only the class site is
+// swept: the binary path has no norm memory to corrupt, and level/id faults
+// hit the encoder before representation and so affect both paths alike.
+type ResilienceBinaryPoint struct {
+	BER          float64 `json:"ber"`
+	InjectedBits int     `json:"injected_bits"`
+	Corrupted    float64 `json:"corrupted_accuracy"`
+	Rebinarized  float64 `json:"rebinarized_accuracy"`
+}
+
 // ResilienceBank is the whole-bank-failure case: one striped class memory
 // dies, the scrub masks its lane, and the dot product renormalizes over the
 // surviving 15/16 of the dimensions.
@@ -57,7 +73,12 @@ type ResilienceResult struct {
 	Seed     uint64            `json:"seed"`
 	Baseline float64           `json:"baseline_accuracy"`
 	Points   []ResiliencePoint `json:"points"`
-	Bank     ResilienceBank    `json:"bank_failure"`
+	// BinaryBaseline and BinaryPoints are the packed-representation column:
+	// the same trained model binarized, scored by Hamming distance, with
+	// class-memory bit errors injected into the packed words themselves.
+	BinaryBaseline float64                 `json:"binary_baseline_accuracy"`
+	BinaryPoints   []ResilienceBinaryPoint `json:"binary_points"`
+	Bank           ResilienceBank          `json:"bank_failure"`
 }
 
 // Resilience sweeps uniform bit errors over every persistent fault site of
@@ -130,6 +151,42 @@ func Resilience(cfg Config) (*ResilienceResult, error) {
 		}
 	}
 
+	// Binary column: binarize the trained model, pack the encoded test set,
+	// and sweep class-memory bit errors over the packed words directly. The
+	// repair path rebinarizes from the intact integer counters — class
+	// counters are the durable state, packed words a derived cache.
+	{
+		bbase := classifier.Binarize(base)
+		testB := make([]*hdc.BinVec, len(testH))
+		for i, h := range testH {
+			bv := hdc.NewBinVec(len(h))
+			bv.PackSigns(h)
+			testB[i] = bv
+		}
+		res.BinaryBaseline = classifier.BinaryAccuracy(bbase, testB, ds.TestY, cfg.Workers)
+		for bi, ber := range ResilienceBERs {
+			bm := bbase.Clone()
+			spec := faults.Spec{
+				Site: faults.SiteClass, Kind: faults.Uniform, Rate: ber,
+				Seed: cfg.Seed ^ 0xb1<<48 ^ uint64(bi+1),
+			}
+			inj, err := spec.Injector()
+			if err != nil {
+				return nil, err
+			}
+			n := inj.Apply(faults.BinaryClassMem(bm), rng.New(spec.Seed))
+			pt := ResilienceBinaryPoint{
+				BER: ber, InjectedBits: n,
+				Corrupted: classifier.BinaryAccuracy(bm, testB, ds.TestY, cfg.Workers),
+			}
+			for c := 0; c < bm.Classes(); c++ {
+				bm.RebinarizeClass(base, c)
+			}
+			pt.Rebinarized = classifier.BinaryAccuracy(bm, testB, ds.TestY, cfg.Workers)
+			res.BinaryPoints = append(res.BinaryPoints, pt)
+		}
+	}
+
 	// Whole-bank failure: lane 0 dies, the guard flags it, the scrub masks
 	// it, and the model limps on with 15/16 of its dimensions.
 	{
@@ -171,6 +228,17 @@ func (r *ResilienceResult) String() string {
 		)
 	}
 	b.WriteString(t.String())
+	if len(r.BinaryPoints) > 0 {
+		fmt.Fprintf(&b, "binary (packed class memory, baseline %s):\n", fmtPct(r.BinaryBaseline))
+		bt := &table{header: []string{"BER", "bits", "corrupted", "rebinarized"}}
+		for _, p := range r.BinaryPoints {
+			bt.addRow(
+				fmt.Sprintf("%.1f%%", 100*p.BER), fmt.Sprintf("%d", p.InjectedBits),
+				fmtPct(p.Corrupted), fmtPct(p.Rebinarized),
+			)
+		}
+		b.WriteString(bt.String())
+	}
 	fmt.Fprintf(&b, "bank failure (lane %d): %s corrupted -> %s after mask (%.1f-point drop)\n",
 		r.Bank.Lane, fmtPct(r.Bank.Corrupted), fmtPct(r.Bank.Recovered), r.Bank.DropPoints)
 	return b.String()

@@ -54,9 +54,27 @@ func TestResilienceShape(t *testing.T) {
 			}
 		}
 	}
+	// The binary column: packed class memory swept at the same BERs.
+	if res.BinaryBaseline < 0.70 {
+		t.Fatalf("binary baseline accuracy %.3f too low", res.BinaryBaseline)
+	}
+	if len(res.BinaryPoints) != len(ResilienceBERs) {
+		t.Fatalf("%d binary sweep points, want %d", len(res.BinaryPoints), len(ResilienceBERs))
+	}
+	for _, p := range res.BinaryPoints {
+		if p.InjectedBits == 0 && p.BER > 0.001 {
+			t.Errorf("binary class @ %.1f%%: no bits injected", 100*p.BER)
+		}
+		// Rebinarization re-derives the packed classes from the intact
+		// integer counters, so recovery is exact by construction.
+		if p.Rebinarized != res.BinaryBaseline {
+			t.Errorf("binary class @ %.1f%%: rebinarized %.4f != baseline %.4f",
+				100*p.BER, p.Rebinarized, res.BinaryBaseline)
+		}
+	}
 	// Rendering and the JSON artifact must both carry the sweep.
 	s := res.String()
-	for _, needle := range []string{"Resilience", "bank failure", "level", "datapath"} {
+	for _, needle := range []string{"Resilience", "bank failure", "level", "datapath", "binary"} {
 		if needle == "datapath" {
 			continue // transient sites are not part of the persistent sweep
 		}
@@ -74,6 +92,9 @@ func TestResilienceShape(t *testing.T) {
 	}
 	if back.Baseline != res.Baseline || len(back.Points) != len(res.Points) {
 		t.Error("JSON artifact dropped fields")
+	}
+	if back.BinaryBaseline != res.BinaryBaseline || len(back.BinaryPoints) != len(res.BinaryPoints) {
+		t.Error("JSON artifact dropped the binary sweep")
 	}
 }
 

@@ -444,3 +444,60 @@ func TestStuckAtInjectors(t *testing.T) {
 		}
 	}
 }
+
+func TestBinaryClassMemGeometry(t *testing.T) {
+	h := newHarness(t, encoding.Generic, true)
+	bm := classifier.Binarize(h.model)
+	mem := BinaryClassMem(bm)
+	if mem.Rows() != bm.Classes() || mem.Cells() != bm.D() || mem.CellBits() != 1 {
+		t.Fatalf("geometry %dx%dx%d, want %dx%dx1", mem.Rows(), mem.Cells(), mem.CellBits(), bm.Classes(), bm.D())
+	}
+	// Bit/SetBit address the packed class vectors directly.
+	for _, probe := range []struct{ row, cell int }{{0, 0}, {1, 63}, {0, 64}, {1, bm.D() - 1}} {
+		want := bm.Class(probe.row).Bit(probe.cell)
+		if got := mem.Bit(probe.row, probe.cell, 0); got != want {
+			t.Fatalf("Bit(%d,%d) = %d, class bit = %d", probe.row, probe.cell, got, want)
+		}
+		mem.SetBit(probe.row, probe.cell, 0, 1-want)
+		if bm.Class(probe.row).Bit(probe.cell) != 1-want {
+			t.Fatalf("SetBit(%d,%d) not visible in the packed class", probe.row, probe.cell)
+		}
+		mem.SetBit(probe.row, probe.cell, 0, want)
+	}
+}
+
+func TestBinaryClassMemInjection(t *testing.T) {
+	h := newHarness(t, encoding.Generic, true)
+	bm := classifier.Binarize(h.model)
+	orig := bm.Clone()
+	spec := Spec{Site: SiteClass, Kind: Uniform, Rate: 0.05, Seed: 77}
+	inj, err := spec.Injector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := inj.Apply(BinaryClassMem(bm), rng.New(spec.Seed))
+	total := bm.Classes() * bm.D()
+	if n == 0 || n > total/5 {
+		t.Fatalf("injected %d of %d bits at rate 0.05", n, total)
+	}
+	// The flip count must equal the Hamming distance to the pristine model —
+	// every injected bit landed in the packed storage, none elsewhere.
+	diff := 0
+	for c := 0; c < bm.Classes(); c++ {
+		diff += bm.Class(c).Hamming(orig.Class(c))
+	}
+	if diff != n {
+		t.Fatalf("injector reported %d flips, packed storage differs in %d bits", n, diff)
+	}
+	// Same spec, same seed: bit-identical corruption (determinism contract).
+	bm2 := classifier.Binarize(h.model)
+	inj2, _ := spec.Injector()
+	if n2 := inj2.Apply(BinaryClassMem(bm2), rng.New(spec.Seed)); n2 != n {
+		t.Fatalf("replay injected %d bits, first run %d", n2, n)
+	}
+	for c := 0; c < bm.Classes(); c++ {
+		if !bm.Class(c).Equal(bm2.Class(c)) {
+			t.Fatalf("replayed corruption differs in class %d", c)
+		}
+	}
+}

@@ -101,6 +101,27 @@ func (c classMem) SetBit(row, cell, b, bit int) {
 	cv[cell] = int32(u)
 }
 
+// --- packed binary class memory ---------------------------------------------
+
+// binaryClassMem views a binary model's packed class vectors as the
+// accelerator's bw=1 class memory: one row per class, D cells of one bit
+// each. Bits are flipped directly in the packed words — the stored
+// representation under test — so a flip changes the Hamming geometry with no
+// norm memory to go stale (bipolar norms are constants).
+type binaryClassMem struct{ b *classifier.BinaryModel }
+
+// BinaryClassMem wraps a live binary model for packed class-memory
+// injection. Mutations are in place on the packed words.
+func BinaryClassMem(b *classifier.BinaryModel) Mem { return binaryClassMem{b: b} }
+
+func (m binaryClassMem) Rows() int     { return m.b.Classes() }
+func (m binaryClassMem) Cells() int    { return m.b.D() }
+func (m binaryClassMem) CellBits() int { return 1 }
+
+func (m binaryClassMem) Bit(row, cell, _ int) int { return m.b.Class(row).Bit(cell) }
+
+func (m binaryClassMem) SetBit(row, cell, _, v int) { m.b.Class(row).SetBit(cell, v) }
+
 // --- norm2 memory -----------------------------------------------------------
 
 // normMem views the per-class squared norms as 64-bit memory words. Norm

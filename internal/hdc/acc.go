@@ -118,6 +118,48 @@ func (a *Acc) Bipolar(dst []int32) {
 	}
 }
 
+// MajorityInto materializes the sign-binarized bundle directly into out:
+// bit i is 1 exactly when the bipolar bundle value 2·count(i) − n is >= 0,
+// i.e. count(i) >= ceil(n/2) — the same v >= 0 → +1 rule BinVec.PackSigns
+// applies to integer counters, so MajorityInto(out) equals Bipolar(tmp) +
+// PackSigns(tmp) without materializing the integer vector. An empty
+// accumulator yields all ones (sign(0) → +1), matching PackSigns on a zero
+// counter vector.
+//
+// The comparison runs word-parallel on the bit-sliced counter planes: a
+// borrow-propagating subtraction of the scalar threshold across 64 counters
+// at a time; a lane ends with no borrow exactly when its count reaches the
+// threshold.
+//
+//generic:hotpath
+func (a *Acc) MajorityInto(out *BinVec) {
+	mustSameDim("Acc.MajorityInto", out.d, a.d)
+	thr := uint64(a.n+1) / 2
+	// Planes only grow when some counter actually carried that high, so the
+	// threshold may need more bit positions than exist; absent planes are
+	// all-zero counter bits.
+	nk := len(a.planes)
+	if b := bits.Len64(thr); b > nk {
+		nk = b
+	}
+	for w := range out.words {
+		borrow := uint64(0)
+		for k := 0; k < nk; k++ {
+			var c uint64
+			if k < len(a.planes) {
+				c = a.planes[k][w]
+			}
+			var t uint64
+			if thr>>uint(k)&1 == 1 {
+				t = ^uint64(0)
+			}
+			borrow = ^c&(t|borrow) | t&borrow
+		}
+		out.words[w] = ^borrow
+	}
+	out.words[len(out.words)-1] &= tailMask(out.d)
+}
+
 // Threshold materializes the majority vote: bit i of the result is 1 when
 // more than half the added vectors had bit 1 there. Ties (possible only for
 // even counts) break toward 0. It panics if the accumulator is empty.

@@ -171,3 +171,38 @@ func BenchmarkAccCounts4096(b *testing.B) {
 		acc.Counts(dst)
 	}
 }
+
+func TestMajorityIntoMatchesBipolarPackSigns(t *testing.T) {
+	// MajorityInto must equal the two-step reference — materialize the
+	// bipolar bundle, then pack its signs — for even and odd bundle sizes
+	// (ties at n/2 resolve to +1 under the v >= 0 rule).
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw) % 70 // 0 included: empty accumulator packs all ones
+		r := rng.New(seed)
+		const d = 256
+		acc := NewAcc(d)
+		for i := 0; i < n; i++ {
+			acc.Add(RandomBitVec(d, r))
+		}
+		tmp := make(Vec, d)
+		acc.Bipolar(tmp)
+		want := NewBinVec(d)
+		want.PackSigns(tmp)
+		got := NewBinVec(d)
+		acc.MajorityInto(got)
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMajorityIntoDimGuard(t *testing.T) {
+	acc := NewAcc(128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MajorityInto across dimensionalities did not panic")
+		}
+	}()
+	acc.MajorityInto(NewBinVec(64))
+}

@@ -1,0 +1,301 @@
+package hdc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/edge-hdc/generic/internal/rng"
+)
+
+// randomVec returns a deterministic integer vector with values in [-4, 4],
+// including zeros so the sign rule's v >= 0 boundary is exercised.
+func randomVec(d int, r *rng.Rand) Vec {
+	v := NewVec(d)
+	for i := range v {
+		v[i] = int32(r.Intn(9)) - 4
+	}
+	return v
+}
+
+func randomBinVec(d int, r *rng.Rand) *BinVec {
+	b := NewBinVec(d)
+	b.PackSigns(randomVec(d, r))
+	return b
+}
+
+func TestNewBinVecPanicsOnBadDim(t *testing.T) {
+	for _, d := range []int{0, -1, -64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBinVec(%d) did not panic", d)
+				}
+			}()
+			NewBinVec(d)
+		}()
+	}
+}
+
+func TestNewBinVecAcceptsUnalignedDims(t *testing.T) {
+	for _, d := range []int{1, 63, 64, 65, 100, 127, 1000} {
+		v := NewBinVec(d)
+		if v.D() != d {
+			t.Fatalf("D() = %d, want %d", v.D(), d)
+		}
+		if got, want := len(v.Words()), (d+63)/64; got != want {
+			t.Fatalf("D=%d: %d words, want %d", d, got, want)
+		}
+	}
+}
+
+func TestBinVecBitSetGet(t *testing.T) {
+	v := NewBinVec(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Bit(i) != 0 {
+			t.Fatalf("fresh vector has bit %d set", i)
+		}
+		v.SetBit(i, 1)
+		if v.Bit(i) != 1 || v.Bipolar(i) != 1 {
+			t.Fatalf("SetBit(%d,1) not visible", i)
+		}
+		v.SetBit(i, 0)
+		if v.Bit(i) != 0 || v.Bipolar(i) != -1 {
+			t.Fatalf("SetBit(%d,0) not visible", i)
+		}
+	}
+}
+
+func TestBinVecIndexGuards(t *testing.T) {
+	v := NewBinVec(100)
+	for _, i := range []int{-1, 100, 127} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) on D=100 did not panic", i)
+				}
+			}()
+			v.Bit(i)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetBit(%d) on D=100 did not panic", i)
+				}
+			}()
+			v.SetBit(i, 1)
+		}()
+	}
+}
+
+func TestPackSignsSignRule(t *testing.T) {
+	// The boundary case is zero: v >= 0 packs to 1 (+1), matching the
+	// classifier's Quantize(1) sign rule.
+	src := Vec{-2, -1, 0, 1, 2}
+	v := NewBinVec(5)
+	v.PackSigns(src)
+	want := []int{0, 0, 1, 1, 1}
+	for i, w := range want {
+		if v.Bit(i) != w {
+			t.Fatalf("bit %d = %d, want %d (src %d)", i, v.Bit(i), w, src[i])
+		}
+	}
+}
+
+func TestPackSignsTailInvariant(t *testing.T) {
+	// Bits at positions >= D in the final word must stay zero even when the
+	// source is all-nonnegative (which packs every addressable bit to 1).
+	for _, d := range []int{1, 63, 65, 100, 127} {
+		src := NewVec(d) // all zeros: every sign packs to 1
+		v := NewBinVec(d)
+		v.PackSigns(src)
+		if v.OnesCount() != d {
+			t.Fatalf("D=%d: OnesCount = %d, want %d", d, v.OnesCount(), d)
+		}
+		tail := v.Words()[len(v.Words())-1]
+		if masked := tail & tailMask(d); masked != tail {
+			t.Fatalf("D=%d: tail word %064b has phantom bits beyond D", d, tail)
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		const d = 257 // unaligned on purpose
+		r := rng.New(seed)
+		src := randomVec(d, r)
+		v := NewBinVec(d)
+		v.PackSigns(src)
+		back := NewVec(d)
+		v.Unpack(back)
+		for i := range src {
+			want := int32(-1)
+			if src[i] >= 0 {
+				want = 1
+			}
+			if back[i] != want {
+				return false
+			}
+		}
+		// Re-packing the unpacked bipolar vector must be a fixed point.
+		v2 := NewBinVec(d)
+		v2.PackSigns(back)
+		return v.Equal(v2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// refHamming is the bit-at-a-time reference the packed kernel must match.
+func refHamming(a, b *BinVec, dims int) int {
+	h := 0
+	for i := 0; i < dims; i++ {
+		if a.Bit(i) != b.Bit(i) {
+			h++
+		}
+	}
+	return h
+}
+
+func TestHammingMatchesReference(t *testing.T) {
+	for _, d := range []int{1, 63, 64, 65, 127, 128, 1000, 1024} {
+		r := rng.New(uint64(d))
+		a := randomBinVec(d, r)
+		b := randomBinVec(d, r)
+		if got, want := a.Hamming(b), refHamming(a, b, d); got != want {
+			t.Fatalf("D=%d: Hamming = %d, reference = %d", d, got, want)
+		}
+		if a.Hamming(a) != 0 {
+			t.Fatalf("D=%d: Hamming(a,a) != 0", d)
+		}
+	}
+}
+
+func TestHammingPrefixMatchesReference(t *testing.T) {
+	const d = 1024
+	r := rng.New(7)
+	a := randomBinVec(d, r)
+	b := randomBinVec(d, r)
+	for _, dims := range []int{1, 63, 64, 65, 100, 512, 1023, 1024} {
+		if got, want := a.HammingPrefix(b, dims), refHamming(a, b, dims); got != want {
+			t.Fatalf("dims=%d: HammingPrefix = %d, reference = %d", dims, got, want)
+		}
+	}
+	for _, dims := range []int{0, -1, d + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("HammingPrefix(dims=%d) did not panic", dims)
+				}
+			}()
+			a.HammingPrefix(b, dims)
+		}()
+	}
+}
+
+func TestBinVecDimensionGuards(t *testing.T) {
+	a, b := NewBinVec(64), NewBinVec(128)
+	for name, f := range map[string]func(){
+		"Hamming":       func() { a.Hamming(b) },
+		"HammingPrefix": func() { a.HammingPrefix(b, 64) },
+		"Dot":           func() { a.Dot(b) },
+		"CopyFrom":      func() { a.CopyFrom(b) },
+		"PackSigns":     func() { a.PackSigns(NewVec(128)) },
+		"Unpack":        func() { a.Unpack(NewVec(128)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s across dimensionalities did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	if a.Equal(b) {
+		t.Fatal("Equal across dimensionalities should be false, not panic")
+	}
+}
+
+func TestBinVecDotIdentity(t *testing.T) {
+	// Dot = D − 2·hamming must agree with the explicit bipolar dot product,
+	// including at unaligned D where the tail invariant carries the proof.
+	f := func(s1, s2 uint64) bool {
+		const d = 301
+		a := randomBinVec(d, rng.New(s1))
+		b := randomBinVec(d, rng.New(s2))
+		explicit := 0
+		for i := 0; i < d; i++ {
+			explicit += a.Bipolar(i) * b.Bipolar(i)
+		}
+		return a.Dot(b) == explicit && a.Dot(a) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinVecCloneIndependence(t *testing.T) {
+	r := rng.New(3)
+	v := randomBinVec(200, r)
+	c := v.Clone()
+	if !v.Equal(c) {
+		t.Fatal("clone differs from original")
+	}
+	c.SetBit(5, 1-c.Bit(5))
+	if v.Equal(c) {
+		t.Fatal("mutating clone affected original")
+	}
+	w := NewBinVec(200)
+	w.CopyFrom(v)
+	if !w.Equal(v) {
+		t.Fatal("CopyFrom differs from source")
+	}
+}
+
+func FuzzBinVecPackHamming(f *testing.F) {
+	f.Add(uint64(1), uint64(2), 65)
+	f.Add(uint64(0), uint64(0), 1)
+	f.Add(uint64(42), uint64(43), 1024)
+	f.Fuzz(func(t *testing.T, s1, s2 uint64, dRaw int) {
+		d := dRaw%1500 + 1
+		if d < 1 {
+			d += 1500
+		}
+		a := randomBinVec(d, rng.New(s1))
+		b := randomBinVec(d, rng.New(s2))
+		if got, want := a.Hamming(b), refHamming(a, b, d); got != want {
+			t.Fatalf("D=%d: Hamming = %d, reference = %d", d, got, want)
+		}
+		if a.Hamming(b) != b.Hamming(a) {
+			t.Fatalf("D=%d: Hamming not symmetric", d)
+		}
+		// Tail invariant survives packing random signs.
+		tail := a.Words()[len(a.Words())-1]
+		if tail&tailMask(d) != tail {
+			t.Fatalf("D=%d: phantom tail bits after PackSigns", d)
+		}
+	})
+}
+
+func BenchmarkBinVecHamming4096(b *testing.B) {
+	r := rng.New(1)
+	x := randomBinVec(4096, r)
+	y := randomBinVec(4096, r)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = x.Hamming(y)
+	}
+	_ = sink
+}
+
+func BenchmarkBinVecPackSigns4096(b *testing.B) {
+	r := rng.New(1)
+	src := randomVec(4096, r)
+	dst := NewBinVec(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.PackSigns(src)
+	}
+}

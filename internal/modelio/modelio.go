@@ -21,6 +21,14 @@
 // length-prefixed name (u16 length + bytes, at most 64) between the model
 // header and the class payload, covered by the CRC footer. Version-1 and -2
 // files still load with an empty Trainer.
+//
+// Version 4 records the inference representation: a flags word (bit 0 set
+// when the pipeline was binarized for packed Hamming inference) and the
+// counter bit-width the binary model was derived from, between the trainer
+// name and the class payload. The payload stays the integer counters — the
+// packed class vectors are a pure function of their signs and are
+// re-derived on load — so binarized and exact files differ only in these
+// four bytes. Files predating version 4 load as not binarized.
 package modelio
 
 import (
@@ -42,7 +50,10 @@ import (
 
 const (
 	magic   = "GHDC"
-	version = 3
+	version = 4
+	// versionNoBinary is the pre-representation format (trainer name but no
+	// binarization flags), still readable and writable for tests.
+	versionNoBinary = 3
 	// versionNoTrainer is the pre-strategy format (checksummed but without
 	// the trainer-name field), still readable and writable for tests.
 	versionNoTrainer = 2
@@ -72,6 +83,13 @@ type Bundle struct {
 	// HasChecksum is set by Read: true when the stream carried (and passed)
 	// a CRC32 integrity footer, false for legacy version-1 files.
 	HasChecksum bool
+	// Binarized records that the pipeline's inference representation was the
+	// packed binary model when saved; loaders re-derive the packed class
+	// vectors from the counter signs. False for files predating version 4.
+	Binarized bool
+	// BinarizedFromBW is the counter bit-width the binary model was derived
+	// from — binarization provenance. Zero when Binarized is false.
+	BinarizedFromBW int
 }
 
 // Write serializes the bundle in the current format version, including the
@@ -219,6 +237,23 @@ func writeVersioned(w io.Writer, b *Bundle, ver uint16) error {
 			return err
 		}
 	}
+	if ver >= 4 {
+		flags := uint16(0)
+		srcBW := uint16(0)
+		if b.Binarized {
+			flags |= 1
+			if b.BinarizedFromBW < 1 || b.BinarizedFromBW > 16 {
+				return fmt.Errorf("modelio: binarization source bit-width %d out of range", b.BinarizedFromBW)
+			}
+			srcBW = uint16(b.BinarizedFromBW)
+		}
+		if err := writeU16(flags); err != nil {
+			return err
+		}
+		if err := writeU16(srcBW); err != nil {
+			return err
+		}
+	}
 	buf := make([]byte, 2)
 	for c := 0; c < m.Classes(); c++ {
 		for _, x := range m.Class(c) {
@@ -275,7 +310,7 @@ func Read(r io.Reader) (*Bundle, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != version && ver != versionNoTrainer && ver != versionNoChecksum {
+	if ver != version && ver != versionNoBinary && ver != versionNoTrainer && ver != versionNoChecksum {
 		return nil, fmt.Errorf("modelio: unsupported version %d", ver)
 	}
 	kind, err := readU16()
@@ -338,6 +373,23 @@ func Read(r io.Reader) (*Bundle, error) {
 			return nil, fmt.Errorf("modelio: reading trainer name: %w", err)
 		}
 		b.Trainer = string(name)
+	}
+	if ver >= 4 {
+		flags, err := readU16()
+		if err != nil {
+			return nil, fmt.Errorf("modelio: reading representation flags: %w", err)
+		}
+		srcBW, err := readU16()
+		if err != nil {
+			return nil, fmt.Errorf("modelio: reading binarization bit-width: %w", err)
+		}
+		if flags&1 != 0 {
+			if srcBW < 1 || srcBW > 16 {
+				return nil, fmt.Errorf("modelio: bad binarization source bit-width %d", srcBW)
+			}
+			b.Binarized = true
+			b.BinarizedFromBW = int(srcBW)
+		}
 	}
 	m := classifier.NewModel(int(mD), int(mClasses), int(mBW))
 	buf := make([]byte, 2)

@@ -2,7 +2,9 @@ package modelio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"os"
 	"strings"
@@ -368,5 +370,115 @@ func TestAtomicWriteFilePreservesOriginal(t *testing.T) {
 	}
 	if _, err := os.Stat(fresh); !errors.Is(err, os.ErrNotExist) {
 		t.Errorf("failed first save left a file: %v", err)
+	}
+}
+
+func TestBinarizedRoundTrip(t *testing.T) {
+	b := trainedBundle(t)
+	b.Binarized = true
+	b.BinarizedFromBW = b.Model.BW()
+	if b.BinarizedFromBW == 0 {
+		b.BinarizedFromBW = 16
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Binarized {
+		t.Error("binarized flag lost in round trip")
+	}
+	if got.BinarizedFromBW != b.BinarizedFromBW {
+		t.Errorf("source bit-width %d, want %d", got.BinarizedFromBW, b.BinarizedFromBW)
+	}
+	// The payload stays the integer counters: they round-trip bit-exactly so
+	// the binary model can be re-derived (and the file re-exactified).
+	for c := 0; c < b.Model.Classes(); c++ {
+		want, have := b.Model.Class(c), got.Model.Class(c)
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("class %d dim %d: %d != %d", c, i, have[i], want[i])
+			}
+		}
+	}
+
+	// A non-binarized bundle reads back with the flag clear.
+	plain := trainedBundle(t)
+	buf.Reset()
+	if err := Write(&buf, plain); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = Read(&buf); err != nil || got.Binarized || got.BinarizedFromBW != 0 {
+		t.Errorf("plain bundle: binarized=%v srcBW=%d err=%v", got.Binarized, got.BinarizedFromBW, err)
+	}
+}
+
+func TestBinarizedWriteValidatesSourceBW(t *testing.T) {
+	b := trainedBundle(t)
+	b.Binarized = true
+	for _, bad := range []int{0, -1, 17} {
+		b.BinarizedFromBW = bad
+		if err := Write(io.Discard, b); err == nil {
+			t.Errorf("source bit-width %d accepted", bad)
+		}
+	}
+}
+
+func TestBinarizedReadValidatesSourceBW(t *testing.T) {
+	b := trainedBundle(t)
+	b.Binarized = true
+	b.BinarizedFromBW = 8
+	var buf bytes.Buffer
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	// The srcBW u16 sits just before the class payload (classes×D×2 bytes)
+	// and the 4-byte CRC footer.
+	off := len(raw) - 4 - b.Model.Classes()*b.Model.D()*2 - 2
+	if raw[off] != 8 || raw[off+1] != 0 {
+		t.Fatalf("srcBW not at computed offset %d (got % x)", off, raw[off:off+2])
+	}
+	raw[off] = 99 // out of [1,16]
+	// Re-seal the CRC so the corruption reaches the semantic validator.
+	binary.LittleEndian.PutUint32(raw[len(raw)-4:], crc32.ChecksumIEEE(raw[:len(raw)-4]))
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("implausible binarization source bit-width accepted")
+	} else if errors.Is(err, ErrChecksum) {
+		t.Errorf("want a validation error, got checksum mismatch: %v", err)
+	}
+}
+
+// Version-3 files (trainer, no representation block) must still load, as
+// not binarized.
+func TestVersion3Compatibility(t *testing.T) {
+	b := trainedBundle(t)
+	b.Trainer = "perceptron"
+	b.Binarized = true // must be dropped, not mis-written, at v3
+	b.BinarizedFromBW = 8
+	var buf bytes.Buffer
+	if err := writeVersioned(&buf, b, versionNoBinary); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("reading v3 stream: %v", err)
+	}
+	if got.Binarized || got.BinarizedFromBW != 0 {
+		t.Errorf("v3 stream produced binarized=%v srcBW=%d, want false/0", got.Binarized, got.BinarizedFromBW)
+	}
+	if got.Trainer != "perceptron" {
+		t.Errorf("v3 trainer %q, want perceptron", got.Trainer)
+	}
+	for c := 0; c < b.Model.Classes(); c++ {
+		want, have := b.Model.Class(c), got.Model.Class(c)
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("v3 class %d dim %d: %d != %d", c, i, have[i], want[i])
+			}
+		}
 	}
 }

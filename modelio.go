@@ -24,9 +24,16 @@ func (p *Pipeline) Save(w io.Writer) error {
 	if err := p.trained("Save"); err != nil {
 		return err
 	}
-	return modelio.Write(w, &modelio.Bundle{
+	b := &modelio.Bundle{
 		Kind: p.enc.Kind(), Cfg: p.enc.Config(), Model: p.model, Trainer: p.trainer,
-	})
+	}
+	// A binarized pipeline saves its counters plus the representation flag;
+	// the packed class vectors are re-derived from the counter signs on load.
+	if p.bmodel != nil {
+		b.Binarized = true
+		b.BinarizedFromBW = p.bmodel.SourceBW()
+	}
+	return modelio.Write(w, b)
 }
 
 // SaveFile is Save to a file path, through the crash-safe
@@ -65,6 +72,13 @@ func LoadPipeline(r io.Reader) (*Pipeline, error) {
 	p.model = b.Model
 	p.trainer = b.Trainer
 	p.hasChecksum = b.HasChecksum
+	if b.Binarized {
+		// Re-derive the packed representation and restore binary as the
+		// pipeline's default inference mode, as at save time.
+		if err := p.Binarize(); err != nil {
+			return nil, fmt.Errorf("generic: rebinarizing loaded model: %w", err)
+		}
+	}
 	return p, nil
 }
 
