@@ -1,0 +1,108 @@
+package main
+
+// Structured logging for the daemon: one log/slog JSON logger (stdout, like
+// the printf lines it replaces, so existing log-scraping keeps working) plus
+// a request-logging middleware with per-endpoint sampling — hot predict
+// traffic logs one line in every -log-sample successes, while every error
+// and every non-hot endpoint logs unconditionally. Debug level disables
+// sampling entirely.
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"sync/atomic"
+
+	"github.com/edge-hdc/generic/internal/quality"
+	"github.com/edge-hdc/generic/internal/telemetry"
+)
+
+// logger is the process logger. It defaults to info on stdout so early boot
+// errors are never swallowed; main reconfigures it from -log-level.
+var logger = newLogger(os.Stdout, slog.LevelInfo)
+
+func newLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// parseLogLevel maps the -log-level flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (debug, info, warn, error)", s)
+}
+
+// statusWriter records the response status plus the request's quality
+// signal (the margin bucket of a single-sample predict) for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status       int
+	marginBucket int // -1: not a single-sample predict
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// setMarginBucket stashes a predict's margin bucket on the response writer
+// when the middleware wrapped it (direct handler tests pass a plain
+// ResponseWriter, which is fine — the signal is log-only).
+func setMarginBucket(w http.ResponseWriter, margin float64) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.marginBucket = quality.MarginBucket(margin)
+	}
+}
+
+// sampledEndpoints are the hot endpoints whose success lines are sampled.
+var sampledEndpoints = map[string]bool{"predict": true, "adapt": true}
+
+// logged wraps a handler with the structured access log: endpoint, status,
+// duration, the snapshot version that answered, and the margin bucket for
+// single predicts. Errors log at warn (4xx) or error (5xx) unconditionally;
+// successes on hot endpoints log one line in every cfg.logSample (counted
+// per endpoint), except at debug level, which logs them all.
+func (s *server) logged(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	var n atomic.Int64 // per-endpoint success counter for sampling
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := telemetry.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK, marginBucket: -1}
+		h(sw, r)
+		durMS := float64(telemetry.Now()-start) / 1e6
+
+		level := slog.LevelInfo
+		switch {
+		case sw.status >= 500:
+			level = slog.LevelError
+		case sw.status >= 400:
+			level = slog.LevelWarn
+		default:
+			if sampledEndpoints[endpoint] && s.cfg.logSample > 1 &&
+				!logger.Enabled(r.Context(), slog.LevelDebug) &&
+				n.Add(1)%int64(s.cfg.logSample) != 0 {
+				return
+			}
+		}
+		attrs := make([]slog.Attr, 0, 6)
+		attrs = append(attrs,
+			slog.String("endpoint", endpoint),
+			slog.Int("status", sw.status),
+			slog.Float64("dur_ms", durMS),
+			slog.Uint64("snapshot", s.core.Current().Version),
+		)
+		if sw.marginBucket >= 0 {
+			attrs = append(attrs, slog.Int("margin_bucket", sw.marginBucket))
+		}
+		logger.LogAttrs(r.Context(), level, "request", attrs...)
+	}
+}

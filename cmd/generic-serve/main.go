@@ -5,7 +5,9 @@
 //
 //	POST /predict        {"x":[...]} or {"xs":[[...],...]} → predicted label(s)
 //	POST /adapt          {"x":[...],"label":n} → durable online-learning step
-//	GET  /metrics        telemetry registry snapshot (expvar-style JSON)
+//	GET  /metrics        telemetry registry snapshot (JSON; ?format=prom for
+//	                     Prometheus text exposition)
+//	GET  /quality        model-quality window: margins, drift, shadow agreement
 //	GET  /healthz        liveness: 200 ok/degraded, 503 failing
 //	GET  /readyz         readiness: 503 while draining or failing
 //	GET  /debug/pprof/*  runtime profiling
@@ -14,8 +16,10 @@
 // atomic snapshot: predicts are lock-free, adapts clone-modify-publish and
 // are logged to a crash-safe WAL before acknowledgment, a background scrub
 // loop CRC-sweeps and self-repairs the model, and per-endpoint admission
-// gates shed overload with 429 instead of queueing into collapse.
-// SIGINT/SIGTERM drain in-flight requests, checkpoint, and exit.
+// gates shed overload with 429 instead of queueing into collapse. A quality
+// monitor rotates the rolling margin window, checks for distribution drift
+// against the Fit-time profile, and degrades /healthz while drift is
+// sustained. SIGINT/SIGTERM drain in-flight requests, checkpoint, and exit.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	generic "github.com/edge-hdc/generic"
+	"github.com/edge-hdc/generic/internal/quality"
 	"github.com/edge-hdc/generic/internal/serve"
 )
 
@@ -59,22 +65,51 @@ func main() {
 		chaosSeed    = flag.Uint64("chaos-seed", 1, "chaos torment stream seed")
 		chaosEvery   = flag.Duration("chaos-every", 2*time.Second, "interval between chaos fault injections")
 		chaosLatency = flag.Duration("chaos-latency", 50*time.Millisecond, "max chaos-injected handler latency")
+
+		// Logging.
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (debug disables request sampling)")
+		logSample = flag.Int("log-sample", 100, "log 1 in N successful predict/adapt requests (errors always log; <=1 logs all)")
+
+		// Model-quality monitoring.
+		qualityEvery    = flag.Duration("quality-every", 10*time.Second, "quality window rotation + drift check interval (0 disables the monitor)")
+		driftPSI        = flag.Float64("drift-psi", 0.25, "PSI at or above which a window counts toward the drift alarm")
+		driftClear      = flag.Float64("drift-clear", 0.1, "PSI at or below which a window counts toward clearing the alarm")
+		driftWindows    = flag.Int("drift-windows", 3, "consecutive windows over/under threshold to trip/clear the alarm")
+		driftMinSamples = flag.Int64("drift-min-samples", 64, "skip drift checks on windows with fewer predicts")
+		shadowEvery     = flag.Int("shadow-every", 0, "shadow-score 1 in N binary predicts through the exact counters (0 disables)")
+		lowMargin       = flag.Float64("low-margin", 0.05, "margin below which a predict counts as low-margin in /quality")
 	)
 	flag.Parse()
+
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generic-serve:", err)
+		os.Exit(1)
+	}
+	logger = newLogger(os.Stdout, level)
 
 	if err := run(runConfig{
 		addr: *addr, model: *model, dataset: *dataset, epochs: *epochs, d: *d, seed: *seed,
 		stateDir: *stateDir, walSync: *walSync, ckptEvery: *ckptEvery,
 		scrubEvery: *scrubEvery,
 		chaos:      *chaos, chaosSeed: *chaosSeed, chaosEvery: *chaosEvery, chaosLatency: *chaosLatency,
+		shadowEvery: *shadowEvery, lowMargin: *lowMargin,
 		server: serverConfig{
 			workers:    *workers,
 			deadline:   *deadline,
 			maxPredict: *maxPredict,
 			maxAdapt:   *maxAdapt,
+			logSample:  *logSample,
+			quality: qualityConfig{
+				every:      *qualityEvery,
+				tripPSI:    *driftPSI,
+				clearPSI:   *driftClear,
+				windows:    *driftWindows,
+				minSamples: *driftMinSamples,
+			},
 		},
 	}); err != nil {
-		fmt.Fprintln(os.Stderr, "generic-serve:", err)
+		logger.Error("fatal", slog.String("err", err.Error()))
 		os.Exit(1)
 	}
 }
@@ -91,6 +126,8 @@ type runConfig struct {
 	chaosSeed         uint64
 	chaosEvery        time.Duration
 	chaosLatency      time.Duration
+	shadowEvery       int
+	lowMargin         float64
 	server            serverConfig
 }
 
@@ -106,7 +143,7 @@ func run(cfg runConfig) error {
 	var p *generic.Pipeline
 	if serve.HasCheckpoint(cfg.stateDir) {
 		if cfg.model != "" || cfg.dataset != "" {
-			fmt.Printf("generic-serve: resuming from checkpoint in %s (-model/-dataset ignored)\n", cfg.stateDir)
+			logger.Info(fmt.Sprintf("resuming from checkpoint in %s (-model/-dataset ignored)", cfg.stateDir))
 		}
 	} else {
 		p, err = buildPipeline(cfg.model, cfg.dataset, cfg.epochs, cfg.d, cfg.seed, cfg.server.workers)
@@ -124,21 +161,38 @@ func run(cfg runConfig) error {
 		return err
 	}
 	if n := core.Replayed(); n > 0 {
-		fmt.Printf("generic-serve: replayed %d acknowledged adapts from the WAL\n", n)
+		logger.Info(fmt.Sprintf("replayed %d acknowledged adapts from the WAL", n))
 	}
 	snap := core.Current()
 	m := snap.Pipeline.Model()
-	fmt.Printf("generic-serve: pipeline ready (D=%d, %d classes, %d-bit, %s mode, snapshot v%d, wal seq %d)\n",
-		m.D(), m.Classes(), m.BW(), snap.Pipeline.Mode(), snap.Version, snap.Seq)
+	// Quality configuration happens pre-serving, while we still hold the
+	// exclusive access SetShadowSampling requires; Clone propagates it to
+	// every later adapt snapshot.
+	snap.Pipeline.SetShadowSampling(cfg.shadowEvery)
+	quality.Default.SetLowMarginThreshold(cfg.lowMargin)
+	logger.Info(fmt.Sprintf("pipeline ready (D=%d, %d classes, %d-bit, %s mode, snapshot v%d, wal seq %d)",
+		m.D(), m.Classes(), m.BW(), snap.Pipeline.Mode(), snap.Version, snap.Seq))
 
 	s := newServer(core, cfg.server)
 	stopScrub := core.StartScrubLoop(cfg.scrubEvery)
+	stopQuality := func() {}
+	if every := cfg.server.quality.every; every > 0 {
+		s.monitor.start(every)
+		stopQuality = s.monitor.halt
+		ref := "bootstrap from first window"
+		if s.monitor.det.Ref() != nil {
+			ref = "fit-time profile"
+		}
+		logger.Info("quality monitor running",
+			slog.Duration("every", every), slog.String("baseline", ref),
+			slog.Int("shadow_every", cfg.shadowEvery))
+	}
 	stopChaos := func() {}
 	if cfg.chaos {
 		s.chaos = serve.NewChaos(cfg.chaosSeed, cfg.chaosLatency)
 		stopChaos = s.chaos.StartChaos(core, cfg.chaosEvery)
-		fmt.Printf("generic-serve: CHAOS MODE (seed %d, inject every %s, latency up to %s)\n",
-			cfg.chaosSeed, cfg.chaosEvery, cfg.chaosLatency)
+		logger.Warn(fmt.Sprintf("CHAOS MODE (seed %d, inject every %s, latency up to %s)",
+			cfg.chaosSeed, cfg.chaosEvery, cfg.chaosLatency))
 	}
 
 	srv := &http.Server{
@@ -151,7 +205,7 @@ func run(cfg runConfig) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("generic-serve: listening on %s\n", cfg.addr)
+	logger.Info(fmt.Sprintf("listening on %s", cfg.addr))
 
 	select {
 	case <-ctx.Done():
@@ -161,6 +215,7 @@ func run(cfg runConfig) error {
 		// the WAL — acknowledged state is durable before exit.
 		s.draining.Store(true)
 		stopChaos()
+		stopQuality()
 		stopScrub()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -171,10 +226,11 @@ func run(cfg runConfig) error {
 		if err := core.Close(); err != nil {
 			return fmt.Errorf("closing serving core: %w", err)
 		}
-		fmt.Println("generic-serve: drained, bye")
+		logger.Info("drained, bye")
 		return nil
 	case err := <-errc:
 		stopChaos()
+		stopQuality()
 		stopScrub()
 		core.Close()
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -196,7 +252,7 @@ func buildPipeline(model, dataset string, epochs, d int, seed uint64, workers in
 			return nil, err
 		}
 		if !p.HasChecksum() {
-			fmt.Fprintln(os.Stderr, "generic-serve: warning: model file has no integrity footer")
+			logger.Warn("model file has no integrity footer")
 		}
 		return p, nil
 	case dataset != "":
@@ -214,8 +270,8 @@ func buildPipeline(model, dataset string, epochs, d int, seed uint64, workers in
 		if err != nil {
 			return nil, err
 		}
-		fmt.Printf("generic-serve: self-trained on %s in %.1fs (%d epochs)\n",
-			ds.Name, time.Since(start).Seconds(), ran)
+		logger.Info(fmt.Sprintf("self-trained on %s in %.1fs (%d epochs)",
+			ds.Name, time.Since(start).Seconds(), ran))
 		return p, nil
 	default:
 		return nil, errors.New("need -model <file>, -dataset <name>, or a -state-dir checkpoint")

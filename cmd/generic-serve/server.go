@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -34,12 +35,15 @@ const maxBodyBytes = 32 << 20
 // handlers write 429 directly) but gives clients a stable message.
 var errOverloaded = errors.New("server overloaded, retry later")
 
-// serverConfig carries the resilience knobs from flags to the handler set.
+// serverConfig carries the resilience and observability knobs from flags to
+// the handler set.
 type serverConfig struct {
 	workers    int
 	deadline   time.Duration // per-request budget; 0 disables
 	maxPredict int           // in-flight /predict bound; 0 unlimited
 	maxAdapt   int           // in-flight /adapt bound; 0 unlimited
+	logSample  int           // log 1 in N successful predict/adapt requests; <=1 logs all
+	quality    qualityConfig // drift-detector knobs (see quality.go)
 }
 
 // server is the HTTP layer over the serving core. Predict and health reads
@@ -52,6 +56,7 @@ type server struct {
 	cfg         serverConfig
 	predictGate *serve.Gate
 	adaptGate   *serve.Gate
+	monitor     *qualityMonitor
 	draining    atomic.Bool // set during graceful shutdown; /readyz flips to 503
 }
 
@@ -61,17 +66,21 @@ func newServer(core *serve.Core, cfg serverConfig) *server {
 		cfg:         cfg,
 		predictGate: serve.NewGate(cfg.maxPredict),
 		adaptGate:   serve.NewGate(cfg.maxAdapt),
+		monitor:     newQualityMonitor(core, core.Current().Pipeline.QualityProfile(), cfg.quality),
 	}
 }
 
 // routes builds the daemon's mux. Every endpoint is pinned to its one
 // method (405 + Allow otherwise); predict/adapt additionally run under the
-// per-request deadline. pprof handlers are registered explicitly rather
-// than through net/http/pprof's DefaultServeMux side effects.
+// per-request deadline, and the model-facing endpoints run inside the
+// structured access log (probes and scrapes stay unlogged — supervisor
+// traffic would drown the signal). pprof handlers are registered explicitly
+// rather than through net/http/pprof's DefaultServeMux side effects.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", method(http.MethodPost, s.withDeadline(s.handlePredict)))
-	mux.HandleFunc("/adapt", method(http.MethodPost, s.withDeadline(s.handleAdapt)))
+	mux.HandleFunc("/predict", s.logged("predict", method(http.MethodPost, s.withDeadline(s.handlePredict))))
+	mux.HandleFunc("/adapt", s.logged("adapt", method(http.MethodPost, s.withDeadline(s.handleAdapt))))
+	mux.HandleFunc("/quality", s.logged("quality", method(http.MethodGet, s.handleQuality)))
 	mux.HandleFunc("/metrics", method(http.MethodGet, s.handleMetrics))
 	mux.HandleFunc("/healthz", method(http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/readyz", method(http.MethodGet, s.handleReadyz))
@@ -190,7 +199,7 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	case req.X != nil && req.Xs != nil:
 		writeError(w, http.StatusBadRequest, errors.New(`provide "x" or "xs", not both`))
 	case req.X != nil:
-		label, err := snap.Pipeline.Predict(req.X)
+		label, margin, err := snap.Pipeline.PredictMargin(req.X)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -199,6 +208,7 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			writeError(w, statusFor(err), err)
 			return
 		}
+		setMarginBucket(w, margin)
 		writeJSON(w, http.StatusOK, predictResponse{Label: &label})
 		servePredictNS.ObserveSince(start)
 	case req.Xs != nil:
@@ -253,8 +263,18 @@ func (s *server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 	serveAdaptNS.ObserveSince(start)
 }
 
+// handleMetrics serves the registry snapshot: JSON by default, Prometheus
+// text exposition when the scraper asks for it (?format=prom, or an Accept
+// header preferring text/plain — the prometheus scraper's default).
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	serveRequests.Inc()
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", telemetry.ContentType)
+		if err := telemetry.Default.WriteProm(w); err != nil {
+			serveErrors.Inc()
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	b := telemetry.Default.AppendJSON(nil)
 	b = appendSummaries(b)
@@ -262,6 +282,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if _, err := w.Write(b); err != nil {
 		serveErrors.Inc()
 	}
+}
+
+// wantsProm decides the /metrics representation: an explicit ?format=prom
+// (or =json) wins; otherwise an Accept header that mentions text/plain and
+// not application/json selects the exposition format.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
 }
 
 // summaryEndpoints maps each serving endpoint to its latency histogram; the
@@ -297,7 +331,8 @@ func appendSummaries(b []byte) []byte {
 // healthResponse mirrors the serving health machine plus the fault
 // controller's detail and the snapshot lineage.
 type healthResponse struct {
-	Status          string `json:"status"` // "ok", "degraded", or "failing"
+	Status          string `json:"status"`          // "ok", "degraded", or "failing"
+	Drift           bool   `json:"drift,omitempty"` // model-quality drift alarm active
 	PendingFaults   int    `json:"pending_faults"`
 	MaskedLanes     []int  `json:"masked_lanes"`
 	QuarantinedRows int    `json:"quarantined_rows"`
@@ -322,6 +357,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	state := s.core.State()
 	resp := healthResponse{
 		Status:          state.String(),
+		Drift:           s.core.Drift(),
 		PendingFaults:   h.PendingFaults,
 		MaskedLanes:     h.MaskedLanes,
 		QuarantinedRows: h.QuarantinedRows,

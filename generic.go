@@ -50,6 +50,7 @@ import (
 	"github.com/edge-hdc/generic/internal/parallel"
 	"github.com/edge-hdc/generic/internal/perf"
 	"github.com/edge-hdc/generic/internal/power"
+	"github.com/edge-hdc/generic/internal/quality"
 	"github.com/edge-hdc/generic/internal/sim"
 	"github.com/edge-hdc/generic/internal/trace"
 )
@@ -297,6 +298,19 @@ type Pipeline struct {
 	// the call's TrainOptions leave Trainer empty; after a successful fit it
 	// holds the strategy that actually trained the current model.
 	trainer string
+	// Model-quality observability (internal/quality). profile is the drift
+	// reference captured at Fit/Binarize from calibX/calibY, a bounded
+	// stride-subsample of the encoded training set retained for re-profiling
+	// across mode transitions. All three are immutable once built and shared
+	// (not deep-copied) across Clone — the serving layer clones per adapt,
+	// and calibration data never mutates. shadowEvery > 0 samples one in
+	// shadowEvery binary predicts through the retained integer counters to
+	// track binary-vs-exact disagreement; it is configuration, set before
+	// serving starts (SetShadowSampling requires exclusive access, like Fit).
+	profile     *quality.Profile
+	calibX      []hdc.Vec
+	calibY      []int
+	shadowEvery int
 }
 
 // pipeState is the per-goroutine working set of a Pipeline: an encoder
@@ -411,7 +425,61 @@ func (p *Pipeline) FitResult(X [][]float64, Y []int, opt TrainOptions) (TrainRes
 	p.bmodel = nil
 	p.mode = Exact
 	p.faultCtl = nil
+	p.captureCalibration(encoded, Y)
 	return res, nil
+}
+
+// calibCap bounds the calibration subsample retained for quality profiling:
+// enough samples for a stable margin distribution, small enough that a
+// pipeline keeps O(calibCap·D) extra bytes, not the training set.
+const calibCap = 256
+
+// captureCalibration stride-subsamples the encoded training set and builds
+// the drift reference profile for the current mode. The retained vectors
+// are references into the encoded set (training never mutates them), so the
+// rest of the set stays collectable.
+func (p *Pipeline) captureCalibration(encoded []hdc.Vec, Y []int) {
+	n := len(encoded)
+	if n == 0 {
+		p.calibX, p.calibY, p.profile = nil, nil, nil
+		return
+	}
+	stride := (n + calibCap - 1) / calibCap
+	cx := make([]hdc.Vec, 0, calibCap)
+	cy := make([]int, 0, calibCap)
+	for i := 0; i < n; i += stride {
+		cx = append(cx, encoded[i])
+		cy = append(cy, Y[i])
+	}
+	p.calibX, p.calibY = cx, cy
+	p.reprofile()
+}
+
+// reprofile rebuilds the drift reference from the retained calibration
+// subsample under the pipeline's current mode. Margins are not comparable
+// across representations — binarizing both re-scores the calibration set
+// through the packed path and rebases the reference. Pipelines without
+// calibration data (loaded model files) keep a nil profile; the serving
+// monitor bootstraps a baseline from the first healthy window instead.
+func (p *Pipeline) reprofile() {
+	if len(p.calibX) == 0 || p.model == nil {
+		p.profile = nil
+		return
+	}
+	margins := make([]float64, len(p.calibX))
+	if p.mode == Binary && p.bmodel != nil {
+		bv := hdc.NewBinVec(p.bmodel.D())
+		for i, h := range p.calibX {
+			bv.PackSigns(h)
+			_, margins[i] = p.bmodel.MarginDims(bv, p.bmodel.D())
+		}
+		p.profile = quality.BuildProfile(margins, p.calibY, "binary")
+		return
+	}
+	for i, h := range p.calibX {
+		_, margins[i] = p.model.MarginDims(h, p.model.D())
+	}
+	p.profile = quality.BuildProfile(margins, p.calibY, "exact")
 }
 
 // Trainer returns the pipeline's training strategy: the name set via
@@ -433,6 +501,12 @@ func (p *Pipeline) Clone() *Pipeline {
 		trainer:     p.trainer,
 		hasChecksum: p.hasChecksum,
 		mode:        p.mode,
+		// Quality state is immutable after capture: share, don't copy —
+		// Clone runs on every serving adapt and must stay cheap.
+		profile:     p.profile,
+		calibX:      p.calibX,
+		calibY:      p.calibY,
+		shadowEvery: p.shadowEvery,
 	}
 	if mc, ok := p.enc.(encoding.MaterialCloner); ok {
 		c.enc = mc.CloneMaterial()
@@ -498,16 +572,31 @@ func (p *Pipeline) checkFeatures(op string, x []float64, i int) error {
 // scored dimensions; a single sample has nothing to fan out, so WithWorkers
 // has no effect here.
 func (p *Pipeline) Predict(x []float64, opts ...Option) (int, error) {
-	if err := p.trained("Predict"); err != nil {
-		return 0, err
+	c, _, err := p.predictOne("Predict", x, opts)
+	return c, err
+}
+
+// PredictMargin is Predict also returning the normalized top-2 confidence
+// margin in [0,1] — the quality signal the scoring loop computes for free
+// (score gap in Exact mode, Hamming gap over scored dimensions in Binary).
+// Zero means the decision was a coin flip; serving surfaces the margin's
+// rolling distribution on /quality.
+func (p *Pipeline) PredictMargin(x []float64, opts ...Option) (int, float64, error) {
+	return p.predictOne("PredictMargin", x, opts)
+}
+
+// predictOne is the validated single-sample core of Predict/PredictMargin.
+func (p *Pipeline) predictOne(op string, x []float64, opts []Option) (int, float64, error) {
+	if err := p.trained(op); err != nil {
+		return 0, 0, err
 	}
-	if err := p.checkFeatures("Predict", x, -1); err != nil {
-		return 0, err
+	if err := p.checkFeatures(op, x, -1); err != nil {
+		return 0, 0, err
 	}
 	o := applyOpts(opts)
-	mode, err := p.resolveMode("Predict", o)
+	mode, err := p.resolveMode(op, o)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	dims := o.dims
 	if dims <= 0 {
@@ -517,23 +606,70 @@ func (p *Pipeline) Predict(x []float64, opts ...Option) (int, error) {
 	st := p.states.Get().(*pipeState)
 	esp := sp.Child("encode")
 	var c int
+	var margin float64
 	if mode == Binary {
 		st.encodeBin(x)
 		esp.End()
 		ssp := sp.Child("score")
-		c, _ = p.bmodel.PredictDims(st.bin, dims)
+		c, _, margin = p.bmodel.PredictDimsMargin(st.bin, dims)
 		ssp.End()
+		p.maybeShadow(st, x, dims, c)
 	} else {
 		st.enc.Encode(x, st.scratch)
 		esp.End()
 		ssp := sp.Child("score")
-		c, _ = p.model.PredictDims(st.scratch, dims, true)
+		c, _, margin = p.model.PredictDimsMargin(st.scratch, dims, true)
 		ssp.End()
 	}
 	p.states.Put(st)
 	sp.End()
-	return c, nil
+	return c, margin, nil
 }
+
+// maybeShadow re-scores one in shadowEvery binary predicts through the
+// retained integer counters and records whether the representations agree —
+// the production cost probe of the binary fast path. The shadow score uses
+// the non-observing MarginDims, so sampled predicts are not double-counted
+// in the quality aggregates.
+func (p *Pipeline) maybeShadow(st *pipeState, x []float64, dims, binPred int) {
+	every := p.shadowEvery
+	if every <= 0 || p.model == nil {
+		return
+	}
+	if quality.ShadowTick()%int64(every) != 0 {
+		return
+	}
+	st.enc.Encode(x, st.scratch)
+	ec, _ := p.model.MarginDims(st.scratch, dims)
+	quality.ObserveShadow(ec == binPred)
+}
+
+// SetShadowSampling enables shadow-mode disagreement tracking: every'th
+// binary predict (globally across goroutines) is re-scored through the
+// retained integer counters, feeding the shadow series of /quality and
+// /metrics. Zero or negative disables. Configuration, not a hot-path
+// control: call it before serving starts, with the same exclusive access as
+// Fit (Clone propagates it to snapshots).
+func (p *Pipeline) SetShadowSampling(every int) {
+	if every < 0 {
+		every = 0
+	}
+	p.shadowEvery = every
+}
+
+// ShadowEvery returns the shadow-sampling interval (0: disabled).
+func (p *Pipeline) ShadowEvery() int { return p.shadowEvery }
+
+// QualityProfile is the drift reference distribution captured at
+// Fit/Binarize: the bucketed margin distribution and class priors the
+// serving monitor compares rolling windows against (see internal/quality).
+type QualityProfile = quality.Profile
+
+// QualityProfile returns the drift reference profile captured at
+// Fit/Binarize, or nil when the pipeline carries no calibration data (e.g.
+// loaded from a model file) — the serving monitor then bootstraps a
+// baseline from the first healthy window.
+func (p *Pipeline) QualityProfile() *QualityProfile { return p.profile }
 
 // PredictAll classifies a batch of inputs, returning predictions in input
 // order. Encoding and scoring fan out across WithWorkers(n) workers
@@ -594,6 +730,7 @@ func (p *Pipeline) predictAllInto(dst []int, X [][]float64, mode Mode, o callOpt
 			for i, x := range X {
 				st.encodeBin(x)
 				dst[i], _ = p.bmodel.PredictDims(st.bin, dims)
+				p.maybeShadow(st, x, dims, dst[i])
 			}
 			p.states.Put(st)
 			return
@@ -603,6 +740,7 @@ func (p *Pipeline) predictAllInto(dst []int, X [][]float64, mode Mode, o callOpt
 			for i := lo; i < hi; i++ {
 				st.encodeBin(X[i])
 				dst[i], _ = p.bmodel.PredictDims(st.bin, dims)
+				p.maybeShadow(st, X[i], dims, dst[i])
 			}
 			p.states.Put(st)
 		})
@@ -753,6 +891,10 @@ func (p *Pipeline) Binarize() error {
 	}
 	p.bmodel = classifier.Binarize(p.model)
 	p.mode = Binary
+	// The margin distribution changes representation with the mode; rebase
+	// the drift reference on the retained calibration subsample (no-op when
+	// none exists, e.g. a loaded model file).
+	p.reprofile()
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"github.com/edge-hdc/generic/internal/encoding"
 	"github.com/edge-hdc/generic/internal/hdc"
 	"github.com/edge-hdc/generic/internal/perf"
+	"github.com/edge-hdc/generic/internal/quality"
 	"github.com/edge-hdc/generic/internal/telemetry"
 )
 
@@ -130,6 +131,24 @@ func Ops() []Op {
 			sp := tracer.Begin("budget")
 			sp.End()
 		}},
+	)
+
+	// The model-quality observe paths ride every predict/adapt (margin
+	// observe) and the monitor cadence (ring push, drift check): all three
+	// stay allocation-free so observability never costs the hot path.
+	obs := quality.NewObserver()
+	det := quality.NewDetector(quality.BuildProfile(
+		[]float64{0.1, 0.4, 0.7}, []int{0, 1, 2}, "exact"))
+	det.MinSamples = 1
+	var driftStats quality.Stats
+	for i := 0; i < 8; i++ {
+		obs.ObservePredict(i%opClasses, 0.125)
+	}
+	driftStats = obs.Total()
+	ops = append(ops,
+		Op{Name: "quality/margin_observe", Run: func() { obs.ObservePredict(1, 0.125) }},
+		Op{Name: "quality/ring_push", Run: func() { obs.Rotate() }},
+		Op{Name: "quality/drift_check", Run: func() { det.Check(&driftStats) }},
 	)
 	return ops
 }

@@ -42,7 +42,7 @@ func runLockShape(pass *Pass) {
 // lockShapeScope limits the analyzer to the packages whose concurrency
 // shapes it models.
 func lockShapeScope(pass *Pass) bool {
-	for _, s := range [...]string{"internal/telemetry", "internal/faults", "internal/serve", "cmd/generic-serve"} {
+	for _, s := range [...]string{"internal/telemetry", "internal/faults", "internal/serve", "internal/quality", "cmd/generic-serve"} {
 		if pathHasSuffix(pass.Path, s) {
 			return true
 		}

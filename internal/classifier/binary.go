@@ -6,6 +6,7 @@ import (
 	"github.com/edge-hdc/generic/internal/hdc"
 	"github.com/edge-hdc/generic/internal/parallel"
 	"github.com/edge-hdc/generic/internal/perf"
+	"github.com/edge-hdc/generic/internal/quality"
 	"github.com/edge-hdc/generic/internal/telemetry"
 )
 
@@ -81,7 +82,37 @@ func (b *BinaryModel) Predict(q *hdc.BinVec) (class, hamming int) {
 //
 //generic:hotpath
 func (b *BinaryModel) PredictDims(q *hdc.BinVec, dims int) (class, hamming int) {
+	class, hamming, _ = b.PredictDimsMargin(q, dims)
+	return class, hamming
+}
+
+// PredictDimsMargin is PredictDims plus the normalized top-2 confidence
+// margin: the Hamming gap between the two nearest classes over the scored
+// dimension count, the binary-mode analogue of the exact path's score-gap
+// margin. Every observing binary predict funnels through here.
+//
+//generic:hotpath
+func (b *BinaryModel) PredictDimsMargin(q *hdc.BinVec, dims int) (class, hamming int, margin float64) {
 	start := telemetry.Now()
+	best, h1, h2, scored := b.scoreTop2(q, dims)
+	margin = hammingMargin(h1, h2, scored)
+	quality.ObservePredict(best, margin)
+	telemetry.PredictNS.ObserveSince(start)
+	return best, h1, margin
+}
+
+// MarginDims scores the packed query without telemetry or quality
+// observation — the profiling path.
+func (b *BinaryModel) MarginDims(q *hdc.BinVec, dims int) (class int, margin float64) {
+	best, h1, h2, scored := b.scoreTop2(q, dims)
+	return best, hammingMargin(h1, h2, scored)
+}
+
+// scoreTop2 runs the Hamming scoring loop tracking the two nearest classes.
+// Ties keep the lower class index, matching the historical single-best loop.
+//
+//generic:hotpath
+func (b *BinaryModel) scoreTop2(q *hdc.BinVec, dims int) (best, h1, h2, scored int) {
 	if dims > b.d {
 		dims = b.d
 	}
@@ -90,22 +121,40 @@ func (b *BinaryModel) PredictDims(q *hdc.BinVec, dims int) (class, hamming int) 
 		chunks = 1
 	}
 	dims = chunks * SubNormGranularity
-	best, bestH := 0, b.d+1
+	best, h1, h2 = 0, b.d+1, b.d+1
 	if dims == b.d {
 		for c, cv := range b.classes {
-			if h := q.Hamming(cv); h < bestH {
-				best, bestH = c, h
+			if h := q.Hamming(cv); h < h1 {
+				best, h1, h2 = c, h, h1
+			} else if h < h2 {
+				h2 = h
 			}
 		}
 	} else {
 		for c, cv := range b.classes {
-			if h := q.HammingPrefix(cv, dims); h < bestH {
-				best, bestH = c, h
+			if h := q.HammingPrefix(cv, dims); h < h1 {
+				best, h1, h2 = c, h, h1
+			} else if h < h2 {
+				h2 = h
 			}
 		}
 	}
-	telemetry.PredictNS.ObserveSince(start)
-	return best, bestH
+	return best, h1, h2, dims
+}
+
+// hammingMargin normalizes a Hamming gap to [0,1] over the scored dimension
+// count. A missing runner-up (single-class model) collapses to zero.
+//
+//generic:hotpath
+func hammingMargin(h1, h2, dims int) float64 {
+	if dims <= 0 || h2 <= h1 || h2 > dims {
+		return 0
+	}
+	m := float64(h2-h1) / float64(dims)
+	if m > 1 {
+		m = 1
+	}
+	return m
 }
 
 // PredictBatch classifies every packed query across workers workers (<= 0

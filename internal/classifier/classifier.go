@@ -9,11 +9,13 @@ package classifier
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/edge-hdc/generic/internal/hdc"
 	"github.com/edge-hdc/generic/internal/parallel"
 	"github.com/edge-hdc/generic/internal/perf"
+	"github.com/edge-hdc/generic/internal/quality"
 	"github.com/edge-hdc/generic/internal/rng"
 	"github.com/edge-hdc/generic/internal/telemetry"
 )
@@ -195,7 +197,39 @@ func (m *Model) Predict(h hdc.Vec) (class int, score float64) {
 //
 //generic:hotpath
 func (m *Model) PredictDims(h hdc.Vec, dims int, updatedNorms bool) (class int, score float64) {
+	class, score, _ = m.PredictDimsMargin(h, dims, updatedNorms)
+	return class, score
+}
+
+// PredictDimsMargin is PredictDims plus the normalized top-2 confidence
+// margin in [0,1] (score gap over combined score magnitude — the quality
+// signal the scoring loop computes for free). Every observing predict path
+// funnels through here; the margin and winner feed internal/quality.
+//
+//generic:hotpath
+func (m *Model) PredictDimsMargin(h hdc.Vec, dims int, updatedNorms bool) (class int, score, margin float64) {
 	start := telemetry.Now()
+	best, s1, s2 := m.scoreTop2(h, dims, updatedNorms)
+	margin = normMargin(s1, s2)
+	quality.ObservePredict(best, margin)
+	telemetry.PredictNS.ObserveSince(start)
+	return best, s1, margin
+}
+
+// MarginDims scores the query without telemetry or quality observation —
+// the profiling and shadow-comparison path, which must not count itself as
+// serving traffic.
+func (m *Model) MarginDims(h hdc.Vec, dims int) (class int, margin float64) {
+	best, s1, s2 := m.scoreTop2(h, dims, true)
+	return best, normMargin(s1, s2)
+}
+
+// scoreTop2 runs the scoring loop tracking the two highest modified-cosine
+// scores. Ties keep the lower class index, so the winner is bit-identical
+// to the historical single-best loop.
+//
+//generic:hotpath
+func (m *Model) scoreTop2(h hdc.Vec, dims int, updatedNorms bool) (best int, s1, s2 float64) {
 	if dims > m.d {
 		dims = m.d
 	}
@@ -204,7 +238,7 @@ func (m *Model) PredictDims(h hdc.Vec, dims int, updatedNorms bool) (class int, 
 		chunks = 1
 	}
 	dims = chunks * SubNormGranularity
-	best, bestScore := 0, -1e308
+	best, s1, s2 = 0, -1e308, -1e308
 	for c, cv := range m.classes {
 		dot := h.DotPrefix(cv, dims)
 		var n2 int64
@@ -214,12 +248,31 @@ func (m *Model) PredictDims(h hdc.Vec, dims int, updatedNorms bool) (class int, 
 			n2 = m.norm2[c]
 		}
 		s := hdc.CosineScore(dot, n2)
-		if s > bestScore {
-			best, bestScore = c, s
+		if s > s1 {
+			best, s1, s2 = c, s, s1
+		} else if s > s2 {
+			s2 = s
 		}
 	}
-	telemetry.PredictNS.ObserveSince(start)
-	return best, bestScore
+	return best, s1, s2
+}
+
+// normMargin normalizes a top-2 score gap to [0,1]: the gap over the
+// combined score magnitude. Degenerate cases (non-positive gap, zero
+// magnitude, single-class models) collapse to zero — "no confidence".
+//
+//generic:hotpath
+func normMargin(s1, s2 float64) float64 {
+	num := s1 - s2
+	den := math.Abs(s1) + math.Abs(s2)
+	if num <= 0 || den <= 0 || num != num || den != den {
+		return 0
+	}
+	m := num / den
+	if m > 1 {
+		m = 1
+	}
+	return m
 }
 
 // Quantize rescales every class vector to bw-bit precision (bw ≤ 16) and
@@ -327,6 +380,9 @@ func (m *Model) InjectBitErrors(ber float64, r *rng.Rand) int {
 func (m *Model) Adapt(h hdc.Vec, label int) (pred int, updated bool) {
 	start := telemetry.Now()
 	pred, _ = m.Predict(h)
+	// The predict-before-apply doubles as a streaming accuracy sample: the
+	// label arrived with the request, so correctness costs nothing extra.
+	quality.ObserveAdapt(label, pred == label)
 	if pred != label {
 		m.Update(h, label, pred)
 		updated = true

@@ -1,0 +1,117 @@
+package classifier
+
+import (
+	"testing"
+
+	"github.com/edge-hdc/generic/internal/hdc"
+	"github.com/edge-hdc/generic/internal/quality"
+)
+
+func TestPredictDimsMarginConsistency(t *testing.T) {
+	const d, nC = 512, 4
+	m, train, _ := trainSmall(t, 3, d, nC)
+	for i, h := range train {
+		wantC, wantS := m.PredictDims(h, d, true)
+		gotC, gotS, margin := m.PredictDimsMargin(h, d, true)
+		if gotC != wantC || gotS != wantS {
+			t.Fatalf("query %d: margin path (%d,%v) != plain path (%d,%v)", i, gotC, gotS, wantC, wantS)
+		}
+		if margin < 0 || margin > 1 {
+			t.Fatalf("query %d: margin %v out of [0,1]", i, margin)
+		}
+		mc, mm := m.MarginDims(h, d)
+		if mc != wantC || mm != margin {
+			t.Fatalf("query %d: MarginDims (%d,%v) != observing path (%d,%v)", i, mc, mm, wantC, margin)
+		}
+	}
+}
+
+// TestMarginSeparation: a query that is a training vector of a separable
+// problem must carry more confidence than an all-zero query, which scores
+// every class identically (margin exactly zero).
+func TestMarginSeparation(t *testing.T) {
+	const d, nC = 512, 4
+	m, train, _ := trainSmall(t, 4, d, nC)
+
+	var sum float64
+	for _, h := range train {
+		_, mg := m.MarginDims(h, d)
+		sum += mg
+	}
+	if mean := sum / float64(len(train)); mean <= 0 {
+		t.Fatalf("separable training set mean margin = %v, want > 0", mean)
+	}
+
+	zero := make(hdc.Vec, d)
+	if _, mg := m.MarginDims(zero, d); mg != 0 {
+		t.Fatalf("all-zero query margin = %v, want 0 (all scores tie)", mg)
+	}
+}
+
+func TestBinaryMarginConsistency(t *testing.T) {
+	const d, nC = 512, 4
+	m, train, _ := trainSmall(t, 5, d, nC)
+	b := Binarize(m)
+	queries := packAll(train, d)
+	for _, dims := range []int{d, d / 2} {
+		for i, q := range queries {
+			wantC, wantH := b.PredictDims(q, dims)
+			gotC, gotH, margin := b.PredictDimsMargin(q, dims)
+			if gotC != wantC || gotH != wantH {
+				t.Fatalf("dims=%d query %d: margin path (%d,%d) != plain (%d,%d)", dims, i, gotC, gotH, wantC, wantH)
+			}
+			if margin < 0 || margin > 1 {
+				t.Fatalf("dims=%d query %d: margin %v out of [0,1]", dims, i, margin)
+			}
+			mc, mm := b.MarginDims(q, dims)
+			if mc != wantC || mm != margin {
+				t.Fatalf("dims=%d query %d: MarginDims (%d,%v) != observing (%d,%v)", dims, i, mc, mm, wantC, margin)
+			}
+		}
+	}
+}
+
+func TestNormMarginEdgeCases(t *testing.T) {
+	cases := []struct {
+		s1, s2, want float64
+	}{
+		{1, 1, 0},  // tie
+		{1, 2, 0},  // inverted (cannot happen, but must not go negative)
+		{0, 0, 0},  // zero magnitude
+		{1, -1, 1}, // clamped to 1
+		{0.5, 0.25, (0.5 - 0.25) / 0.75},
+	}
+	for _, c := range cases {
+		if got := normMargin(c.s1, c.s2); got != c.want {
+			t.Fatalf("normMargin(%v,%v) = %v, want %v", c.s1, c.s2, got, c.want)
+		}
+	}
+	if got := hammingMargin(10, 30, 100); got != 0.2 {
+		t.Fatalf("hammingMargin(10,30,100) = %v, want 0.2", got)
+	}
+	if got := hammingMargin(10, 513, 512); got != 0 {
+		t.Fatalf("hammingMargin with absent runner-up = %v, want 0", got)
+	}
+}
+
+// TestAdaptFeedsStreamingAccuracy: each labeled adapt must contribute one
+// accuracy sample (predict-before-apply) to the default quality observer.
+func TestAdaptFeedsStreamingAccuracy(t *testing.T) {
+	const d, nC = 512, 4
+	m, train, labels := trainSmall(t, 6, d, nC)
+	before := quality.Default.Total()
+	hits := int64(0)
+	for i, h := range train {
+		pred, _ := m.Adapt(h, labels[i])
+		if pred == labels[i] {
+			hits++
+		}
+	}
+	after := quality.Default.Total()
+	if got := after.AdaptEvals - before.AdaptEvals; got != int64(len(train)) {
+		t.Fatalf("adapt evals delta = %d, want %d", got, len(train))
+	}
+	if got := after.AdaptHits - before.AdaptHits; got != hits {
+		t.Fatalf("adapt hits delta = %d, want %d", got, hits)
+	}
+}

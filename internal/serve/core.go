@@ -33,7 +33,8 @@ type Snapshot struct {
 //
 //	StateOK       — model intact, durability intact.
 //	StateDegraded — serving with known damage (masked banks, quarantined
-//	                columns, unscrubbed injections); answers may be
+//	                columns, unscrubbed injections) or an active model-
+//	                quality drift alarm (SetDrift); answers may be
 //	                approximate but the engine keeps answering.
 //	StateFailing  — a mutator hit an operational error (WAL append failed,
 //	                scrub errored): durability or repair is broken. Load
@@ -89,6 +90,13 @@ const (
 type Core struct {
 	cur   atomic.Pointer[Snapshot]
 	state atomic.Int32
+	// drift is the model-quality alarm (internal/quality): set by the
+	// serving monitor when the rolling margin/class distribution has
+	// sustainedly diverged from the reference profile. It folds into State
+	// as a degraded cause — the model serves on, but operators see
+	// degraded(drift) on /healthz until the distribution recovers or the
+	// model is refit.
+	drift atomic.Bool
 
 	mu        sync.Mutex // serializes Adapt/Scrub/InjectFaults/Checkpoint/Close
 	wal       *WAL       // nil when persistence is disabled
@@ -169,8 +177,23 @@ func Open(p *generic.Pipeline, opts Options) (*Core, error) {
 // needed; later publishes do not disturb it.
 func (c *Core) Current() *Snapshot { return c.cur.Load() }
 
-// State returns the health machine's current verdict.
-func (c *Core) State() State { return State(c.state.Load()) }
+// State returns the health machine's current verdict. An active drift alarm
+// degrades an otherwise-OK verdict; fault degradation and operational
+// failure rank above it unchanged.
+func (c *Core) State() State {
+	s := State(c.state.Load())
+	if s == StateOK && c.drift.Load() {
+		return StateDegraded
+	}
+	return s
+}
+
+// SetDrift raises or clears the model-quality drift alarm (see the drift
+// field). Safe from any goroutine; the serving monitor owns it.
+func (c *Core) SetDrift(active bool) { c.drift.Store(active) }
+
+// Drift reports whether the drift alarm is currently raised.
+func (c *Core) Drift() bool { return c.drift.Load() }
 
 // Replayed reports how many WAL records Open folded back in after a crash.
 func (c *Core) Replayed() int { return c.replayed }

@@ -547,6 +547,35 @@ func TestHealthStateMachine(t *testing.T) {
 	core.wal = w
 }
 
+// TestDriftDegradesState: the model-quality drift alarm folds into the
+// health verdict as a degraded cause, ranks below failing, and clears.
+func TestDriftDegradesState(t *testing.T) {
+	p, _, _ := testPipeline(t, 512)
+	core, err := Open(p.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+	if core.Drift() || core.State() != StateOK {
+		t.Fatalf("initial drift=%v state=%v, want false/ok", core.Drift(), core.State())
+	}
+	core.SetDrift(true)
+	if !core.Drift() || core.State() != StateDegraded {
+		t.Fatalf("after SetDrift(true): drift=%v state=%v, want true/degraded", core.Drift(), core.State())
+	}
+	core.SetDrift(false)
+	if got := core.State(); got != StateOK {
+		t.Fatalf("after SetDrift(false): state = %v, want ok", got)
+	}
+
+	// Drift must not mask a harder verdict: force failing underneath.
+	core.state.Store(int32(StateFailing))
+	core.SetDrift(true)
+	if got := core.State(); got != StateFailing {
+		t.Fatalf("drift over failing: state = %v, want failing", got)
+	}
+}
+
 func TestGate(t *testing.T) {
 	if g := NewGate(0); g != nil {
 		t.Error("NewGate(0) should be the nil unlimited gate")

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+// TestPromGoldenSnapshot locks the exposition format byte-for-byte on a
+// local registry: deterministic sorted names, TYPE lines per instrument
+// kind, and the full cumulative histogram series with +Inf/_sum/_count.
+func TestPromGoldenSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	g := r.Gauge("depth")
+	h := r.Histogram("latency_ns")
+
+	c.Add(42)
+	g.Set(-7)
+	h.Observe(400)     // bucket 0 (le 512)
+	h.Observe(400)     // bucket 0
+	h.Observe(1000)    // bucket 1 (le 1024)
+	h.Observe(5 << 30) // overflow (beyond the largest finite bound)
+
+	var want strings.Builder
+	want.WriteString("# TYPE depth gauge\ndepth -7\n")
+	want.WriteString("# TYPE latency_ns histogram\n")
+	cum := []int64{2, 3}
+	for i := 0; i < histBuckets; i++ {
+		n := int64(3)
+		if i < len(cum) {
+			n = cum[i]
+		}
+		want.WriteString("latency_ns_bucket{le=\"")
+		want.WriteString(itoa(BucketBound(i)))
+		want.WriteString("\"} ")
+		want.WriteString(itoa(n))
+		want.WriteString("\n")
+	}
+	want.WriteString("latency_ns_bucket{le=\"+Inf\"} 4\n")
+	want.WriteString("latency_ns_sum ")
+	want.WriteString(itoa(400 + 400 + 1000 + 5<<30))
+	want.WriteString("\n")
+	want.WriteString("latency_ns_count 4\n")
+	want.WriteString("# TYPE requests_total counter\nrequests_total 42\n")
+
+	got := string(r.AppendProm(nil))
+	if got != want.String() {
+		t.Fatalf("prom exposition diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want.String())
+	}
+
+	// Scrape determinism: two renders of an untouched registry are equal.
+	if again := string(r.AppendProm(nil)); again != got {
+		t.Fatal("second render differs from first")
+	}
+}
+
+func TestPromCoversDefaultQualitySeries(t *testing.T) {
+	out := string(Default.AppendProm(nil))
+	for _, name := range []string{
+		"quality_margin_micro", "quality_low_margin_total",
+		"quality_drift_trips_total", "quality_drift_psi_micro",
+		"quality_shadow_samples_total", "predict_ns",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Fatalf("default exposition missing series %q", name)
+		}
+	}
+}

@@ -376,4 +376,20 @@ var (
 	SimEncodings  = Default.Counter("sim_encodings_total")
 	SimInferences = Default.Counter("sim_inferences_total")
 	SimUpdates    = Default.Counter("sim_updates_total")
+
+	// Model quality (internal/quality): the margin histogram reuses the
+	// nanosecond bucket machinery over margin micro-units (margin × 1e6, so
+	// the sqrt-free power-of-two buckets still resolve the low end); the
+	// drift gauges mirror the detector state and the adapt/shadow counters
+	// mirror the streaming-accuracy and binary-disagreement aggregates.
+	QualityMarginMicro    = Default.Histogram("quality_margin_micro")
+	QualityLowMargin      = Default.Counter("quality_low_margin_total")
+	QualityDriftChecks    = Default.Counter("quality_drift_checks_total")
+	QualityDriftTrips     = Default.Counter("quality_drift_trips_total")
+	QualityDriftPSIMicro  = Default.Gauge("quality_drift_psi_micro")
+	QualityDriftActive    = Default.Gauge("quality_drift_active")
+	QualityAdaptEvals     = Default.Counter("quality_adapt_evals_total")
+	QualityAdaptHits      = Default.Counter("quality_adapt_hits_total")
+	QualityShadowSamples  = Default.Counter("quality_shadow_samples_total")
+	QualityShadowDisagree = Default.Counter("quality_shadow_disagree_total")
 )

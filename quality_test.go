@@ -1,0 +1,140 @@
+package generic_test
+
+// Model-quality observability at the pipeline layer: drift-reference
+// capture at Fit/Binarize, the PredictMargin surface, shadow-mode
+// disagreement sampling, and Clone sharing the (immutable) quality state.
+
+import (
+	"testing"
+
+	generic "github.com/edge-hdc/generic"
+	"github.com/edge-hdc/generic/internal/quality"
+)
+
+func TestFitCapturesQualityProfile(t *testing.T) {
+	p, _ := trainedEEG(t)
+	prof := p.QualityProfile()
+	if prof == nil {
+		t.Fatal("no quality profile after Fit")
+	}
+	if prof.Mode != "exact" {
+		t.Fatalf("profile mode = %q, want exact", prof.Mode)
+	}
+	if prof.Samples == 0 || prof.Samples > 256 {
+		t.Fatalf("profile samples = %d, want bounded (0,256]", prof.Samples)
+	}
+	var massM, massP float64
+	for _, v := range prof.Margin {
+		massM += v
+	}
+	for _, v := range prof.Priors {
+		massP += v
+	}
+	if massM < 0.999 || massM > 1.001 || massP < 0.999 || massP > 1.001 {
+		t.Fatalf("profile mass margin=%v priors=%v, want 1", massM, massP)
+	}
+
+	// Binarize rebases the reference onto the packed representation.
+	if err := p.Binarize(); err != nil {
+		t.Fatal(err)
+	}
+	bprof := p.QualityProfile()
+	if bprof == nil || bprof.Mode != "binary" {
+		t.Fatalf("post-Binarize profile = %+v, want binary mode", bprof)
+	}
+	if bprof == prof {
+		t.Fatal("Binarize did not rebuild the profile")
+	}
+}
+
+func TestPredictMarginMatchesPredict(t *testing.T) {
+	p, ds := trainedEEG(t)
+	for _, x := range ds.TestX[:32] {
+		want, err := p.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, margin, err := p.PredictMargin(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("PredictMargin class %d != Predict class %d", got, want)
+		}
+		if margin < 0 || margin > 1 {
+			t.Fatalf("margin %v out of [0,1]", margin)
+		}
+	}
+}
+
+func TestShadowSamplingTracksDisagreement(t *testing.T) {
+	p, ds := trainedEEG(t)
+	if err := p.Binarize(); err != nil {
+		t.Fatal(err)
+	}
+	p.SetShadowSampling(1) // every binary predict is shadow-compared
+	if p.ShadowEvery() != 1 {
+		t.Fatalf("ShadowEvery = %d, want 1", p.ShadowEvery())
+	}
+
+	before := quality.Default.Total()
+	const n = 64
+	for _, x := range ds.TestX[:n] {
+		if _, err := p.Predict(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := quality.Default.Total()
+	if got := after.ShadowSamples - before.ShadowSamples; got != n {
+		t.Fatalf("shadow samples delta = %d, want %d", got, n)
+	}
+	// Disagreement is bounded by the sample count; the rate on a trained
+	// model should be far from certain disagreement.
+	dis := after.ShadowDisagree - before.ShadowDisagree
+	if dis < 0 || dis > n {
+		t.Fatalf("shadow disagreements = %d out of range [0,%d]", dis, n)
+	}
+
+	// Exact-mode predicts never shadow-sample.
+	p.SetShadowSampling(0)
+	before = quality.Default.Total()
+	if _, err := p.Predict(ds.TestX[0]); err != nil {
+		t.Fatal(err)
+	}
+	after = quality.Default.Total()
+	if after.ShadowSamples != before.ShadowSamples {
+		t.Fatal("shadow sampled while disabled")
+	}
+}
+
+func TestShadowSamplingBatch(t *testing.T) {
+	p, ds := trainedEEG(t)
+	if err := p.Binarize(); err != nil {
+		t.Fatal(err)
+	}
+	p.SetShadowSampling(4)
+	before := quality.Default.Total()
+	const n = 64
+	if _, err := p.PredictAll(ds.TestX[:n]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PredictAll(ds.TestX[:n], generic.WithWorkers(4)); err != nil {
+		t.Fatal(err)
+	}
+	after := quality.Default.Total()
+	if got, want := after.ShadowSamples-before.ShadowSamples, int64(2*n/4); got != want {
+		t.Fatalf("batch shadow samples delta = %d, want %d (1 in 4)", got, want)
+	}
+}
+
+func TestCloneSharesQualityState(t *testing.T) {
+	p, _ := trainedEEG(t)
+	p.SetShadowSampling(8)
+	c := p.Clone()
+	if c.QualityProfile() != p.QualityProfile() {
+		t.Fatal("clone rebuilt the profile instead of sharing it")
+	}
+	if c.ShadowEvery() != 8 {
+		t.Fatalf("clone shadowEvery = %d, want 8", c.ShadowEvery())
+	}
+}
